@@ -1,0 +1,148 @@
+// Package repro is an implementation of "An Ownership Policy and Deadlock
+// Detector for Promises" (Voss & Sarkar, PPoPP 2021): promises whose
+// fulfilment obligation is owned by exactly one task at a time, omitted
+// sets reported with blame the moment the guilty task exits, and a
+// lock-free detector that raises an alarm at the instant a deadlock cycle
+// forms — precisely, with no false alarms.
+//
+// This package is a thin facade over the implementation packages:
+//
+//	internal/core        ownership policy + deadlock detector (the paper)
+//	internal/collections Channel (Listing 4), Future, Finish, barriers
+//	internal/sched       task executors
+//	internal/harness     the Table 1 / Figure 1 measurement harness
+//	internal/workloads   the nine evaluation benchmarks
+//
+// Quick start:
+//
+//	rt := repro.NewRuntime()
+//	err := rt.Run(func(t *repro.Task) error {
+//	    p := repro.NewPromise[string](t)
+//	    t.Async(func(child *repro.Task) error {
+//	        return p.Set(child, "hello")
+//	    }, p) // move p: the child now owns the obligation to set it
+//	    msg, err := p.Get(t)
+//	    ...
+//	})
+package repro
+
+import (
+	"repro/internal/core"
+)
+
+// Core types, re-exported.
+type (
+	// Runtime owns a family of tasks and promises and enforces the policy.
+	Runtime = core.Runtime
+	// Task is one asynchronous task; all promise operations name the task
+	// performing them.
+	Task = core.Task
+	// TaskFunc is the body of a task.
+	TaskFunc = core.TaskFunc
+	// Promise is a write-once, many-reader cell with an owner.
+	Promise[T any] = core.Promise[T]
+	// AnyPromise is the payload-independent view of a promise.
+	AnyPromise = core.AnyPromise
+	// Movable is anything whose promises move to a child at spawn
+	// (the paper's PromiseCollection).
+	Movable = core.Movable
+	// Group aggregates Movables.
+	Group = core.Group
+	// Mode selects how much verification is active.
+	Mode = core.Mode
+	// DetectorKind selects the deadlock-detection algorithm in Full mode.
+	DetectorKind = core.DetectorKind
+	// OwnedTracking selects the owned-set representation (§6.2).
+	OwnedTracking = core.OwnedTracking
+	// Option configures a Runtime.
+	Option = core.Option
+	// Stats are cumulative event counts.
+	Stats = core.Stats
+	// Event is one entry of the optional event log.
+	Event = core.Event
+	// EventKind classifies event-log entries.
+	EventKind = core.EventKind
+
+	// OwnershipError reports a set/move by a non-owner.
+	OwnershipError = core.OwnershipError
+	// DoubleSetError reports a second fulfilment.
+	DoubleSetError = core.DoubleSetError
+	// OmittedSetError reports a task that died owing promises.
+	OmittedSetError = core.OmittedSetError
+	// BrokenPromiseError unblocks consumers of leaked promises.
+	BrokenPromiseError = core.BrokenPromiseError
+	// DeadlockError reports a detected cycle, with every task and promise.
+	DeadlockError = core.DeadlockError
+	// CycleNode is one hop of a DeadlockError.
+	CycleNode = core.CycleNode
+	// PanicError wraps a recovered task panic.
+	PanicError = core.PanicError
+)
+
+// Verification modes.
+const (
+	// Unverified is the plain-promise baseline.
+	Unverified = core.Unverified
+	// Ownership enforces Algorithm 1 (omitted-set detection).
+	Ownership = core.Ownership
+	// Full adds Algorithm 2 (deadlock-cycle detection). The default.
+	Full = core.Full
+)
+
+// Detector kinds (Full mode).
+const (
+	// DetectLockFree is the paper's Algorithm 2. The default.
+	DetectLockFree = core.DetectLockFree
+	// DetectGlobalLock is the centralized waits-for-graph comparator.
+	DetectGlobalLock = core.DetectGlobalLock
+)
+
+// Owned-set representations (§6.2 of the paper).
+const (
+	// TrackList is the exact O(1)-discharge list. The default.
+	TrackList = core.TrackList
+	// TrackListLazy is the paper's literal lazy-removal list.
+	TrackListLazy = core.TrackListLazy
+	// TrackCounter keeps a count only (no blame, no cascade).
+	TrackCounter = core.TrackCounter
+)
+
+// Runtime constructors and options, re-exported.
+var (
+	// NewRuntime creates a runtime (Full verification by default).
+	NewRuntime = core.NewRuntime
+	// WithMode selects the verification mode.
+	WithMode = core.WithMode
+	// WithDetector selects the cycle-detection algorithm.
+	WithDetector = core.WithDetector
+	// WithOwnedTracking selects owned-list vs owned-counter (§6.2).
+	WithOwnedTracking = core.WithOwnedTracking
+	// WithEventCounting enables get/set counters.
+	WithEventCounting = core.WithEventCounting
+	// WithAlarmHandler installs a detection callback.
+	WithAlarmHandler = core.WithAlarmHandler
+	// WithExecutor replaces the task executor.
+	WithExecutor = core.WithExecutor
+	// WithTracing enables Snapshot/DOT debugging.
+	WithTracing = core.WithTracing
+	// WithIdleWatch installs the whole-program quiescence comparator (§1).
+	WithIdleWatch = core.WithIdleWatch
+	// WithEventLog retains recent policy events for post-mortems.
+	WithEventLog = core.WithEventLog
+	// Await is the type-erased policy-checked wait (see core.Await).
+	Await = core.Await
+)
+
+// ErrTimeout is returned by Runtime.RunWithTimeout on a hang.
+var ErrTimeout = core.ErrTimeout
+
+// ErrAwaitTimeout is returned by Promise.GetTimeout at its deadline.
+var ErrAwaitTimeout = core.ErrAwaitTimeout
+
+// NewPromise allocates a promise owned by t (rule 1 of the policy).
+func NewPromise[T any](t *Task) *Promise[T] { return core.NewPromise[T](t) }
+
+// NewPromiseNamed allocates a labelled promise owned by t.
+func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
+	return core.NewPromiseNamed[T](t, label)
+}

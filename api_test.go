@@ -1,0 +1,166 @@
+package repro_test
+
+// Tests of the public facade: everything a downstream user touches goes
+// through the repro package, so these double as API-stability checks and
+// as the executable version of the README's examples.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func runWithDeadline(t *testing.T, rt *repro.Runtime, main repro.TaskFunc) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(main) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("facade program hung")
+		return nil
+	}
+}
+
+func TestReadmeQuickstart(t *testing.T) {
+	rt := repro.NewRuntime()
+	err := runWithDeadline(t, rt, func(tk *repro.Task) error {
+		p := repro.NewPromiseNamed[string](tk, "greeting")
+		if _, err := tk.Async(func(child *repro.Task) error {
+			return p.Set(child, "hello")
+		}, p); err != nil {
+			return err
+		}
+		msg, err := p.Get(tk)
+		if err != nil {
+			return err
+		}
+		if msg != "hello" {
+			return fmt.Errorf("msg = %q", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeModesAndOptions(t *testing.T) {
+	for _, mode := range []repro.Mode{repro.Unverified, repro.Ownership, repro.Full} {
+		rt := repro.NewRuntime(repro.WithMode(mode), repro.WithEventCounting(true))
+		if rt.Mode() != mode {
+			t.Fatalf("mode = %v", rt.Mode())
+		}
+		err := runWithDeadline(t, rt, func(tk *repro.Task) error {
+			p := repro.NewPromise[int](tk)
+			if err := p.Set(tk, 1); err != nil {
+				return err
+			}
+			_, err := p.Get(tk)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := rt.Stats(); st.Gets != 1 || st.Sets != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+	}
+}
+
+func TestFacadeDeadlockTypes(t *testing.T) {
+	rt := repro.NewRuntime()
+	var alarm error
+	rt2 := repro.NewRuntime(repro.WithAlarmHandler(func(err error) { alarm = err }))
+	_ = rt
+	err := runWithDeadline(t, rt2, func(tk *repro.Task) error {
+		p := repro.NewPromiseNamed[int](tk, "self")
+		_, e := p.Get(tk)
+		var dl *repro.DeadlockError
+		if !errors.As(e, &dl) {
+			return fmt.Errorf("get = %v", e)
+		}
+		if len(dl.Cycle) != 1 {
+			return fmt.Errorf("cycle = %v", dl.Cycle)
+		}
+		var node repro.CycleNode = dl.Cycle[0]
+		if node.PromiseLabel != "self" {
+			return fmt.Errorf("node = %+v", node)
+		}
+		return p.Set(tk, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl *repro.DeadlockError
+	if !errors.As(alarm, &dl) {
+		t.Fatalf("alarm = %v", alarm)
+	}
+}
+
+func TestFacadeOmittedSetTypes(t *testing.T) {
+	rt := repro.NewRuntime(repro.WithMode(repro.Ownership))
+	err := runWithDeadline(t, rt, func(tk *repro.Task) error {
+		p := repro.NewPromiseNamed[int](tk, "owed")
+		if _, err := tk.AsyncNamed("debtor", func(c *repro.Task) error {
+			return nil
+		}, p); err != nil {
+			return err
+		}
+		_, e := p.Get(tk)
+		var bp *repro.BrokenPromiseError
+		if !errors.As(e, &bp) {
+			return fmt.Errorf("get = %v", e)
+		}
+		return nil
+	})
+	var om *repro.OmittedSetError
+	if !errors.As(err, &om) {
+		t.Fatalf("err = %v", err)
+	}
+	if om.TaskName != "debtor" {
+		t.Fatalf("blame = %q", om.TaskName)
+	}
+}
+
+func TestFacadeGroupAndMovable(t *testing.T) {
+	rt := repro.NewRuntime()
+	err := runWithDeadline(t, rt, func(tk *repro.Task) error {
+		a := repro.NewPromise[int](tk)
+		b := repro.NewPromise[int](tk)
+		var m repro.Movable = repro.Group{a, b}
+		if len(m.Promises()) != 2 {
+			return errors.New("group size")
+		}
+		if _, err := tk.Async(func(c *repro.Task) error {
+			a.MustSet(c, 1)
+			b.MustSet(c, 2)
+			return nil
+		}, m); err != nil {
+			return err
+		}
+		if a.MustGet(tk)+b.MustGet(tk) != 3 {
+			return errors.New("values")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunWithTimeout(t *testing.T) {
+	rt := repro.NewRuntime(repro.WithMode(repro.Unverified))
+	err := rt.RunWithTimeout(100*time.Millisecond, func(tk *repro.Task) error {
+		p := repro.NewPromise[int](tk)
+		_, e := p.Get(tk)
+		return e
+	})
+	if !errors.Is(err, repro.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}

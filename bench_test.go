@@ -1,0 +1,247 @@
+// Benchmarks regenerating the paper's evaluation with testing.B:
+//
+//   - BenchmarkTable1_* — one benchmark per Table-1 row, with a
+//     baseline (unverified) and verified (Full) sub-benchmark each; the
+//     ratio of the two ns/op values is the paper's time-overhead column,
+//     and -benchmem's B/op ratio tracks the memory column.
+//   - BenchmarkFigure1 — the execution-time series behind Figure 1.
+//   - BenchmarkMicro_* — get/set/spawn latencies and the detector's
+//     chain-length sensitivity (the mechanism behind Sieve's outlier).
+//   - BenchmarkAblation_* — the design-choice ablations DESIGN.md calls
+//     out: lock-free vs global-lock detector, owned list vs counter,
+//     goroutine-per-task vs elastic pool.
+//
+// The full Table 1 with confidence intervals and geomeans is produced by
+// cmd/benchtable; these benches are the testing.B view of the same
+// programs at test-friendly scale.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// benchProgram runs one registered workload under the given runtime
+// configuration for b.N iterations.
+func benchProgram(b *testing.B, name string, scale workloads.Scale, opts ...core.Option) {
+	b.Helper()
+	entry, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	prog := entry.Prog(scale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := core.NewRuntime(opts...)
+		if err := rt.Run(prog()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// table1 runs the baseline/verified pair for one Table-1 row.
+func table1(b *testing.B, name string) {
+	b.Run("baseline", func(b *testing.B) {
+		benchProgram(b, name, workloads.ScaleSmall, core.WithMode(core.Unverified))
+	})
+	b.Run("verified", func(b *testing.B) {
+		benchProgram(b, name, workloads.ScaleSmall, core.WithMode(core.Full))
+	})
+}
+
+func BenchmarkTable1_Conway(b *testing.B)         { table1(b, "Conway") }
+func BenchmarkTable1_Heat(b *testing.B)           { table1(b, "Heat") }
+func BenchmarkTable1_QSort(b *testing.B)          { table1(b, "QSort") }
+func BenchmarkTable1_Randomized(b *testing.B)     { table1(b, "Randomized") }
+func BenchmarkTable1_Sieve(b *testing.B)          { table1(b, "Sieve") }
+func BenchmarkTable1_SmithWaterman(b *testing.B)  { table1(b, "SmithWaterman") }
+func BenchmarkTable1_Strassen(b *testing.B)       { table1(b, "Strassen") }
+func BenchmarkTable1_StreamCluster(b *testing.B)  { table1(b, "StreamCluster") }
+func BenchmarkTable1_StreamCluster2(b *testing.B) { table1(b, "StreamCluster2") }
+
+// BenchmarkFigure1 is the execution-time series of Figure 1: every
+// benchmark at both configurations, time per run.
+func BenchmarkFigure1(b *testing.B) {
+	for _, e := range workloads.All() {
+		for _, cfg := range []struct {
+			label string
+			mode  core.Mode
+		}{{"baseline", core.Unverified}, {"verified", core.Full}} {
+			b.Run(e.Name+"/"+cfg.label, func(b *testing.B) {
+				benchProgram(b, e.Name, workloads.ScaleSmall, core.WithMode(cfg.mode))
+			})
+		}
+	}
+}
+
+// BenchmarkMicro_SetGet measures the latency of a fulfilled-promise
+// round-trip (set + fast-path get) per mode.
+func BenchmarkMicro_SetGet(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			if err := rt.Run(func(t *core.Task) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := core.NewPromise[int](t)
+					if err := p.Set(t, i); err != nil {
+						return err
+					}
+					if _, err := p.Get(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_BlockingGet measures a get that must block and be woken
+// (one producer task per wait), the path that runs Algorithm 2.
+func BenchmarkMicro_BlockingGet(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			if err := rt.Run(func(t *core.Task) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := core.NewPromise[int](t)
+					if _, err := t.Async(func(c *core.Task) error {
+						return p.Set(c, i)
+					}, p); err != nil {
+						return err
+					}
+					if _, err := p.Get(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_Spawn measures task spawn+join with one moved promise.
+func BenchmarkMicro_Spawn(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			if err := rt.Run(func(t *core.Task) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := core.NewPromise[struct{}](t)
+					if _, err := t.Async(func(c *core.Task) error {
+						return p.Set(c, struct{}{})
+					}, p); err != nil {
+						return err
+					}
+					if _, err := p.Get(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_ChainTraversal quantifies Algorithm 2's sensitivity to
+// dependence-chain length, the mechanism behind the paper's Sieve outlier
+// (2.07x): a chain of n tasks each awaiting the next one's promise is
+// built and drained; every blocking Get in the chain traverses the
+// blocked prefix before committing, so the verified runtime pays
+// super-linear work in n while the baseline stays linear. Reported ns/op
+// is per whole chain; compare unverified vs full at each length.
+func BenchmarkMicro_ChainTraversal(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		for _, n := range []int{1, 8, 64, 512} {
+			b.Run(fmt.Sprintf("%s/chain-%d", mode, n), func(b *testing.B) {
+				rt := core.NewRuntime(core.WithMode(mode))
+				if err := rt.Run(func(t *core.Task) error {
+					b.ResetTimer()
+					for rep := 0; rep < b.N; rep++ {
+						ps := make([]*core.Promise[int], n+1)
+						for i := range ps {
+							ps[i] = core.NewPromise[int](t)
+						}
+						for i := 0; i < n; i++ {
+							i := i
+							if _, err := t.Async(func(c *core.Task) error {
+								v, err := ps[i+1].Get(c)
+								if err != nil {
+									return err
+								}
+								return ps[i].Set(c, v+1)
+							}, ps[i]); err != nil {
+								return err
+							}
+						}
+						if err := ps[n].Set(t, 0); err != nil {
+							return err
+						}
+						if v, err := ps[0].Get(t); err != nil || v != n {
+							return fmt.Errorf("chain drained to %d (err %v)", v, err)
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_Detector compares the lock-free detector with the
+// global-lock comparator on the synchronization-heavy Randomized workload.
+func BenchmarkAblation_Detector(b *testing.B) {
+	for _, cfg := range []struct {
+		label string
+		kind  core.DetectorKind
+	}{{"lockfree", core.DetectLockFree}, {"globallock", core.DetectGlobalLock}} {
+		b.Run(cfg.label, func(b *testing.B) {
+			benchProgram(b, "Randomized", workloads.ScaleSmall,
+				core.WithMode(core.Full), core.WithDetector(cfg.kind))
+		})
+	}
+}
+
+// BenchmarkAblation_OwnedTracking compares owned lists with owned
+// counters (§6.2) on SmithWaterman, the benchmark whose owned lists grow
+// largest (every promise allocated in the root).
+func BenchmarkAblation_OwnedTracking(b *testing.B) {
+	for _, cfg := range []struct {
+		label string
+		kind  core.OwnedTracking
+	}{{"list", core.TrackList}, {"lazy", core.TrackListLazy}, {"counter", core.TrackCounter}} {
+		b.Run(cfg.label, func(b *testing.B) {
+			benchProgram(b, "SmithWaterman", workloads.ScaleSmall,
+				core.WithMode(core.Full), core.WithOwnedTracking(cfg.kind))
+		})
+	}
+}
+
+// BenchmarkAblation_Executor compares goroutine-per-task with the elastic
+// worker pool on the task-heavy QSort workload.
+func BenchmarkAblation_Executor(b *testing.B) {
+	b.Run("goroutine-per-task", func(b *testing.B) {
+		benchProgram(b, "QSort", workloads.ScaleSmall, core.WithMode(core.Full))
+	})
+	b.Run("elastic-pool", func(b *testing.B) {
+		pool := sched.NewElastic(100 * time.Millisecond)
+		benchProgram(b, "QSort", workloads.ScaleSmall,
+			core.WithMode(core.Full), core.WithExecutor(pool.Execute))
+	})
+}

@@ -1,0 +1,113 @@
+// Command benchtable regenerates Table 1 of the paper: for each of the
+// nine benchmarks it measures the unverified baseline and the fully
+// verified run (time and memory), the task total, and the get/set rates,
+// then prints the table with geometric-mean overheads.
+//
+// Usage:
+//
+//	benchtable [-scale small|default|paper] [-reps N] [-warmups N]
+//	           [-bench name] [-csv] [-detector lockfree|globallock]
+//	           [-tracking list|counter]
+//
+// -scale paper selects the paper's workload sizes and measurement protocol
+// (30 reps, 5 warm-ups); the default scale finishes in a few minutes on a
+// small container. -detector and -tracking select ablation verifiers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "workload scale: small, default, paper")
+	reps := flag.Int("reps", 0, "timed repetitions (0 = protocol default)")
+	warmups := flag.Int("warmups", -1, "discarded warm-up runs (-1 = protocol default)")
+	benchFlag := flag.String("bench", "", "run only the named benchmark (comma-separated list)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	modeFlag := flag.String("mode", "full", "verified configuration: ownership (Algorithm 1 only), full (Algorithms 1+2)")
+	detector := flag.String("detector", "lockfree", "verified detector: lockfree, globallock")
+	tracking := flag.String("tracking", "list", "owned-set tracking: list, lazy, counter")
+	flag.Parse()
+
+	scale := workloads.ParseScale(*scaleFlag)
+	opts := harness.DefaultOptions()
+	if scale == workloads.ScalePaper {
+		opts = harness.PaperOptions()
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *warmups >= 0 {
+		opts.Warmups = *warmups
+	}
+
+	verified := []core.Option{core.WithMode(core.Full)}
+	switch *modeFlag {
+	case "full":
+	case "ownership":
+		verified = []core.Option{core.WithMode(core.Ownership)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	switch *detector {
+	case "lockfree":
+	case "globallock":
+		verified = append(verified, core.WithDetector(core.DetectGlobalLock))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown detector %q\n", *detector)
+		os.Exit(2)
+	}
+	switch *tracking {
+	case "list":
+	case "lazy":
+		verified = append(verified, core.WithOwnedTracking(core.TrackListLazy))
+	case "counter":
+		verified = append(verified, core.WithOwnedTracking(core.TrackCounter))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tracking %q\n", *tracking)
+		os.Exit(2)
+	}
+
+	entries := workloads.All()
+	if *benchFlag != "" {
+		var sel []workloads.Entry
+		for _, name := range strings.Split(*benchFlag, ",") {
+			e, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			sel = append(sel, e)
+		}
+		entries = sel
+	}
+
+	var rows []harness.Row
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "[%s] measuring %s (scale=%s, reps=%d)...\n",
+			time.Now().Format("15:04:05"), e.Name, *scaleFlag, opts.Reps)
+		row, err := harness.MeasureRow(harness.Spec{Name: e.Name, Prog: e.Prog(scale)}, opts, verified...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+
+	if *csv {
+		fmt.Print(harness.RenderCSV(rows))
+		return
+	}
+	fmt.Printf("Table 1: verification overheads (scale=%s, mode=%s, detector=%s, tracking=%s, reps=%d, warmups=%d)\n\n",
+		*scaleFlag, *modeFlag, *detector, *tracking, opts.Reps, opts.Warmups)
+	fmt.Print(harness.RenderTable1(rows))
+}

@@ -1,0 +1,214 @@
+// Command deadlock demonstrates the paper's motivating bugs (Listings
+// 1-3) under each verification mode:
+//
+//   - listing1: the hidden two-task deadlock cycle (§1, Listing 1) — the
+//     baseline hangs behind a long-running bystander task; Full mode names
+//     the cycle the instant it forms.
+//   - listing2: the omitted set with delegated responsibility (Listing 2)
+//     — Ownership mode blames the exact task and promise.
+//   - listing3: the AWS SDK bug (Listing 3) — an error path that forgets
+//     to complete the future; the verified runtime converts the silent
+//     hang into an attributed error.
+//
+// Usage:
+//
+//	deadlock [-demo listing1|listing2|listing3|all] [-mode unverified|ownership|full] [-dot]
+//
+// -dot prints a Graphviz snapshot of the ownership / waits-for graph taken
+// while the program is stuck (requires a hanging mode, i.e. not full).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	demo := flag.String("demo", "all", "which listing to run: listing1, listing2, listing3, all")
+	modeFlag := flag.String("mode", "full", "runtime mode: unverified, ownership, full")
+	dot := flag.Bool("dot", false, "print a DOT snapshot of the stuck state (non-full modes)")
+	events := flag.Bool("events", false, "print the runtime's policy event log after each demo")
+	flag.Parse()
+	printEvents = *events
+
+	var mode core.Mode
+	switch *modeFlag {
+	case "unverified":
+		mode = core.Unverified
+	case "ownership":
+		mode = core.Ownership
+	case "full":
+		mode = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	demos := map[string]func(core.Mode, bool){
+		"listing1": listing1,
+		"listing2": listing2,
+		"listing3": listing3,
+	}
+	if *demo == "all" {
+		for _, name := range []string{"listing1", "listing2", "listing3"} {
+			demos[name](mode, *dot)
+		}
+		return
+	}
+	fn, ok := demos[*demo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown demo %q\n", *demo)
+		os.Exit(2)
+	}
+	fn(mode, *dot)
+}
+
+// printEvents, when set via -events, appends the runtime's policy event
+// log to each demo's report.
+var printEvents bool
+
+// newRT builds a demo runtime honoring the -dot and -events flags.
+func newRT(mode core.Mode, dot bool) *core.Runtime {
+	opts := []core.Option{core.WithMode(mode), core.WithTracing(dot)}
+	if printEvents {
+		opts = append(opts, core.WithEventLog(256))
+	}
+	return core.NewRuntime(opts...)
+}
+
+func report(name string, rt *core.Runtime, err error) {
+	fmt.Printf("== %s under %s mode ==\n", name, rt.Mode())
+	var dl *core.DeadlockError
+	var om *core.OmittedSetError
+	var bp *core.BrokenPromiseError
+	alarmed := errors.As(err, &dl) || errors.As(err, &om)
+	switch {
+	case alarmed:
+		fmt.Println("   result: ALARM (raised the moment the bug occurred)")
+		if errors.As(err, &dl) {
+			fmt.Printf("   deadlock cycle (%d tasks):\n", len(dl.Cycle))
+			for _, n := range dl.Cycle {
+				fmt.Printf("     task %-6s awaits %s\n", n.TaskName, n.PromiseLabel)
+			}
+		}
+		if errors.As(err, &om) {
+			fmt.Printf("   omitted set: %v\n", om)
+		}
+		if errors.As(err, &bp) {
+			fmt.Printf("   consumer unblocked with: %v\n", bp)
+		}
+		if errors.Is(err, core.ErrTimeout) {
+			fmt.Println("   (unrelated long-running tasks are still alive — the alarm did not have to wait for them)")
+		}
+	case errors.Is(err, core.ErrTimeout):
+		fmt.Println("   result: HUNG (no alarm; the bug is invisible to this mode)")
+	case err != nil:
+		fmt.Printf("   result: error: %v\n", err)
+	default:
+		fmt.Println("   result: completed cleanly")
+	}
+	if printEvents {
+		if log := rt.EventLog(); log != "" {
+			fmt.Println("   event log:")
+			for _, line := range strings.Split(strings.TrimRight(log, "\n"), "\n") {
+				fmt.Println("     " + line)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// listing1 is the paper's Listing 1: root and t2 deadlock on p and q while
+// t1 keeps running, so whole-program detectors (like the Go runtime's)
+// stay silent.
+func listing1(mode core.Mode, dot bool) {
+	rt := newRT(mode, dot)
+	stop := make(chan struct{})
+	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+		p := core.NewPromiseNamed[int](root, "p")
+		q := core.NewPromiseNamed[int](root, "q")
+		if _, err := root.AsyncNamed("t1", func(t1 *core.Task) error {
+			<-stop // a long-running task, e.g. a web server
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := root.AsyncNamed("t2", func(t2 *core.Task) error {
+			if _, err := p.Get(t2); err != nil { // stuck
+				return err
+			}
+			return q.Set(t2, 0)
+		}, q); err != nil {
+			return err
+		}
+		if _, err := q.Get(root); err != nil { // stuck
+			return err
+		}
+		return p.Set(root, 0)
+	})
+	if dot && errors.Is(err, core.ErrTimeout) {
+		fmt.Println(rt.DOT())
+	}
+	close(stop)
+	report("Listing 1 (deadlock cycle hidden behind a live task)", rt, err)
+}
+
+// listing2 is the paper's Listing 2: t3 should set r and s, delegates s to
+// t4, and t4 forgets.
+func listing2(mode core.Mode, dot bool) {
+	rt := newRT(mode, dot)
+	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+		r := core.NewPromiseNamed[int](root, "r")
+		s := core.NewPromiseNamed[int](root, "s")
+		if _, err := root.AsyncNamed("t3", func(t3 *core.Task) error { // should set r, s
+			if _, err := t3.AsyncNamed("t4", func(t4 *core.Task) error { // should set s
+				return nil // (forgot to set s)
+			}, s); err != nil {
+				return err
+			}
+			return r.Set(t3, 0)
+		}, r, s); err != nil {
+			return err
+		}
+		if _, err := r.Get(root); err != nil {
+			return err
+		}
+		_, err := s.Get(root) // stuck
+		return err
+	})
+	report("Listing 2 (omitted set with delegation)", rt, err)
+}
+
+// listing3 abbreviates the AWS SDK v2 bug (Listing 3): on checksum
+// mismatch the error path returns without completing the future, so the
+// consumer of the download hangs.
+func listing3(mode core.Mode, dot bool) {
+	rt := newRT(mode, dot)
+	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+		cf := core.NewPromiseNamed[struct{}](root, "cf") // the download future
+		if _, err := root.AsyncNamed("onComplete", func(cb *core.Task) error {
+			streamChecksum, computedChecksum := 0xBAD, 0xF00D
+			onError := func(error) {
+				// Originally a no-op; the fix added
+				// cf.completeExceptionally(t) here.
+			}
+			if streamChecksum != computedChecksum {
+				onError(errors.New("checksum mismatch"))
+				return nil // don't fulfill the promise again
+			}
+			return cf.Set(cb, struct{}{})
+		}, cf); err != nil {
+			return err
+		}
+		// The consumer waiting for the download to complete.
+		_, err := cf.Get(root)
+		return err
+	})
+	report("Listing 3 (AWS SDK omitted set on error path)", rt, err)
+}

@@ -1,0 +1,89 @@
+// Command figure1 regenerates Figure 1 of the paper: per-benchmark mean
+// execution times with 95% confidence intervals for the baseline and the
+// verified configuration, rendered as ASCII bars (and optionally CSV for
+// external plotting).
+//
+// Usage:
+//
+//	figure1 [-scale small|default|paper] [-reps N] [-warmups N]
+//	        [-bench name] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "workload scale: small, default, paper")
+	reps := flag.Int("reps", 0, "timed repetitions (0 = protocol default)")
+	warmups := flag.Int("warmups", -1, "discarded warm-up runs (-1 = protocol default)")
+	benchFlag := flag.String("bench", "", "run only the named benchmark (comma-separated list)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII figure")
+	flag.Parse()
+
+	scale := workloads.ParseScale(*scaleFlag)
+	opts := harness.DefaultOptions()
+	if scale == workloads.ScalePaper {
+		opts = harness.PaperOptions()
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *warmups >= 0 {
+		opts.Warmups = *warmups
+	}
+
+	entries := workloads.All()
+	if *benchFlag != "" {
+		var sel []workloads.Entry
+		for _, name := range strings.Split(*benchFlag, ",") {
+			e, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			sel = append(sel, e)
+		}
+		entries = sel
+	}
+
+	var rows []harness.Row
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "[%s] timing %s...\n", time.Now().Format("15:04:05"), e.Name)
+		prog := e.Prog(scale)
+		baseRT := func() *core.Runtime { return core.NewRuntime(core.WithMode(core.Unverified)) }
+		verRT := func() *core.Runtime { return core.NewRuntime(core.WithMode(core.Full)) }
+		bt, err := harness.MeasureTime(baseRT, prog, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure1: %v\n", err)
+			os.Exit(1)
+		}
+		vt, err := harness.MeasureTime(verRT, prog, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure1: %v\n", err)
+			os.Exit(1)
+		}
+		rows = append(rows, harness.Row{
+			Name:        e.Name,
+			BaselineSec: bt.Mean(), BaselineCI: bt.CI(),
+			VerifiedSec: vt.Mean(), VerifiedCI: vt.CI(),
+		})
+	}
+
+	if *csv {
+		fmt.Print("benchmark,baseline_s,baseline_ci95,verified_s,verified_ci95\n")
+		for _, r := range rows {
+			fmt.Printf("%s,%.6f,%.6f,%.6f,%.6f\n", r.Name, r.BaselineSec, r.BaselineCI, r.VerifiedSec, r.VerifiedCI)
+		}
+		return
+	}
+	fmt.Print(harness.RenderFigure1(rows))
+}

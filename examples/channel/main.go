@@ -1,0 +1,57 @@
+// Channel: the paper's Listing 4, verbatim.
+//
+// A Channel behaves like a promise that can be used repeatedly: the nth
+// recv obtains the value of the nth send. Because Channel implements the
+// PromiseCollection idea (core.Movable), moving the channel to a new task
+// moves whichever promise currently backs its sending end — the object
+// feels movable even though its internal promise changes on every send.
+//
+// Run with: go run ./examples/channel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collections"
+	"repro/internal/core"
+)
+
+func main() {
+	rt := core.NewRuntime()
+	err := rt.Run(func(t *core.Task) error {
+		ch := collections.NewChannelNamed[int](t, "ch")
+
+		// main sends 1 while it still holds the sending end.
+		if err := ch.Send(t, 1); err != nil {
+			return err
+		}
+
+		// async (ch) { ... }  — move the entire channel.
+		if _, err := t.AsyncNamed("producer", func(child *core.Task) error {
+			if err := ch.Send(child, 2); err != nil {
+				return err
+			}
+			return ch.Close(child)
+			// No remaining promises: the child owes nothing at exit.
+		}, ch); err != nil {
+			return err
+		}
+		// No remaining promises here either: main moved its obligation.
+
+		for {
+			v, ok, err := ch.Recv(t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				fmt.Println("channel closed")
+				return nil
+			}
+			fmt.Println("recv:", v) // 1, then 2
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Hidden deadlock: the paper's Listing 1 staged as a tiny "service".
+//
+// A request handler and a metadata loader wait on each other's promises —
+// a genuine deadlock — while a long-running server task keeps the process
+// busy. Whole-program detectors (like the Go runtime's "all goroutines
+// are asleep" check) can never fire here because the server is always
+// runnable. The ownership-based detector names the cycle the moment the
+// second task blocks.
+//
+// Run with: go run ./examples/hiddendeadlock [-mode unverified|full]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "full", "unverified (hangs, rescued by timeout) or full (immediate alarm)")
+	flag.Parse()
+	mode := core.Full
+	if *modeFlag == "unverified" {
+		mode = core.Unverified
+	}
+
+	start := time.Now()
+	var detectedAt time.Duration
+	rt := core.NewRuntime(core.WithMode(mode), core.WithAlarmHandler(func(err error) {
+		var dl *core.DeadlockError
+		if errors.As(err, &dl) && detectedAt == 0 {
+			detectedAt = time.Since(start)
+		}
+	}))
+	serverDone := make(chan struct{})
+	err := rt.RunWithTimeout(3*time.Second, func(root *core.Task) error {
+		config := core.NewPromiseNamed[string](root, "config")
+		metadata := core.NewPromiseNamed[string](root, "metadata")
+
+		// The long-running bystander: a "server" that polls forever.
+		if _, err := root.AsyncNamed("server", func(t *core.Task) error {
+			<-serverDone
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		// The metadata loader: needs the config before publishing metadata.
+		if _, err := root.AsyncNamed("loader", func(t *core.Task) error {
+			cfg, err := config.Get(t) // stuck: config is set after metadata
+			if err != nil {
+				return err
+			}
+			return metadata.Set(t, "meta("+cfg+")")
+		}, metadata); err != nil {
+			return err
+		}
+
+		// The root: wants metadata before providing the config. Cycle!
+		md, err := metadata.Get(root)
+		if err != nil {
+			return err
+		}
+		if err := config.Set(root, "cfg"); err != nil {
+			return err
+		}
+		fmt.Println("metadata:", md)
+		return nil
+	})
+	elapsed := time.Since(start)
+	close(serverDone)
+
+	var dl *core.DeadlockError
+	switch {
+	case errors.As(err, &dl):
+		fmt.Printf("deadlock detected after %v (server still running):\n", detectedAt.Round(time.Millisecond))
+		for _, n := range dl.Cycle {
+			fmt.Printf("  task %-8s awaits %s\n", n.TaskName, n.PromiseLabel)
+		}
+	case errors.Is(err, core.ErrTimeout):
+		fmt.Printf("no alarm after %v: the deadlock is invisible (the server task keeps the program 'alive')\n",
+			elapsed.Round(time.Millisecond))
+	case err != nil:
+		fmt.Println("error:", err)
+	default:
+		fmt.Println("completed (unexpected for this demo)")
+	}
+}

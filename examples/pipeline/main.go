@@ -1,0 +1,41 @@
+// Pipeline: a prime sieve built from promise channels, the workload class
+// the paper's Sieve benchmark stresses (§6.3). Each stage owns the sending
+// end of its outgoing channel — the ownership policy guarantees every
+// stage either passes the stream on or closes it, so a dropped stage can
+// never silently starve the pipeline.
+//
+// Run with: go run ./examples/pipeline [N]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/workloads/sieve"
+)
+
+func main() {
+	n := 1000
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 0 {
+			log.Fatalf("bad N %q", os.Args[1])
+		}
+		n = v
+	}
+	rt := core.NewRuntime()
+	var count uint64
+	err := rt.Run(func(t *core.Task) error {
+		var err error
+		count, err = sieve.Run(t, sieve.Config{N: n})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primes below %d: %d\n", n, count)
+	fmt.Printf("pipeline stages (tasks): %d\n", rt.Stats().Tasks)
+}

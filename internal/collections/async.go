@@ -1,0 +1,166 @@
+package collections
+
+// The asynchronous promise API of §1.1, implemented on top of the
+// synchronous one exactly as the paper observes is possible: supplyAsync
+// binds a new task's return value to a promise (see Go/Future), and then
+// schedules a new task to operate on a promise's value once available.
+// Every combinator spawns a real task owning its output promise, so the
+// ownership policy and the deadlock detector see every dependence edge.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Then schedules f to run on p's value once it is available, returning a
+// promise for f's result (CompletableFuture.thenApply). The continuation
+// task owns the result promise; failures of p or of f complete the result
+// exceptionally.
+func Then[T, U any](t *core.Task, p *core.Promise[T], f func(*core.Task, T) (U, error)) (*core.Promise[U], error) {
+	fut, err := Go(t, func(c *core.Task) (U, error) {
+		v, err := p.Get(c)
+		if err != nil {
+			var zero U
+			return zero, err
+		}
+		return f(c, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fut.Promise(), nil
+}
+
+// ThenCombine schedules f on the values of both promises once both are
+// available (CompletableFuture.thenCombine).
+func ThenCombine[A, B, C any](t *core.Task, pa *core.Promise[A], pb *core.Promise[B], f func(*core.Task, A, B) (C, error)) (*core.Promise[C], error) {
+	fut, err := Go(t, func(c *core.Task) (C, error) {
+		var zero C
+		a, err := pa.Get(c)
+		if err != nil {
+			return zero, err
+		}
+		b, err := pb.Get(c)
+		if err != nil {
+			return zero, err
+		}
+		return f(c, a, b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fut.Promise(), nil
+}
+
+// AllOf returns a promise fulfilled when every input promise is fulfilled
+// (CompletableFuture.allOf). If any input completes exceptionally, the
+// output does too, with the first error encountered in input order.
+func AllOf(t *core.Task, ps ...core.AnyPromise) (*core.Promise[struct{}], error) {
+	fut, err := Go(t, func(c *core.Task) (struct{}, error) {
+		for _, p := range ps {
+			if err := core.Await(c, p); err != nil {
+				return struct{}{}, err
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fut.Promise(), nil
+}
+
+// ErrAllLosersFailed is returned by AnyOf when every input completed
+// exceptionally.
+var ErrAllLosersFailed = errors.New("collections: every promise passed to AnyOf failed")
+
+// AnyOf returns a promise fulfilled with the index and value availability
+// of the first input promise to complete successfully
+// (CompletableFuture.anyOf / Promise.race for the success case). If all
+// inputs fail, the output fails with ErrAllLosersFailed.
+//
+// Caveat, documented deliberately: the collector task multiplexes over the
+// inputs' Done channels rather than blocking on a single promise, so its
+// wait is NOT an edge the deadlock detector can traverse (a cycle through
+// an AnyOf is reported only once it reduces to single-promise waits). This
+// is the same expressiveness gap the paper notes for multi-reader promises
+// in §7; AnyOf is an extension, not part of the verified core.
+func AnyOf[T any](t *core.Task, ps ...*core.Promise[T]) (*core.Promise[T], error) {
+	if len(ps) == 0 {
+		return nil, errors.New("collections: AnyOf of nothing")
+	}
+	fut, err := GoNamed(t, "any-of", func(c *core.Task) (T, error) {
+		// Wait for completions one at a time by racing the Done channels;
+		// each iteration removes completed promises.
+		var zero T
+		remaining := append([]*core.Promise[T](nil), ps...)
+		var firstErr error
+		for len(remaining) > 0 {
+			idx := waitFirstDone(remaining)
+			p := remaining[idx]
+			v, err := p.Get(c) // fulfilled: fast path, no blocking
+			if err == nil {
+				return v, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			remaining = append(remaining[:idx], remaining[idx+1:]...)
+		}
+		return zero, fmt.Errorf("%w: first failure: %v", ErrAllLosersFailed, firstErr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fut.Promise(), nil
+}
+
+// waitFirstDone blocks until at least one promise is fulfilled and returns
+// its index. It starts one watcher goroutine per promise on the slow path.
+func waitFirstDone[T any](ps []*core.Promise[T]) int {
+	for i, p := range ps {
+		select {
+		case <-p.Done():
+			return i
+		default:
+		}
+	}
+	winner := make(chan int, len(ps))
+	var once sync.Once
+	stop := make(chan struct{})
+	defer once.Do(func() { close(stop) })
+	for i, p := range ps {
+		i, p := i, p
+		go func() {
+			select {
+			case <-p.Done():
+				winner <- i
+			case <-stop:
+			}
+		}()
+	}
+	return <-winner
+}
+
+// AsyncAwait spawns a data-driven task (§1.1's data-driven future, after
+// Habanero-Java): the deps are declared up front and f runs only after all
+// of them are fulfilled. Because a data-driven task performs all of its
+// (declared) waits before executing any user code, programs whose only
+// waits go through AsyncAwait cannot deadlock on those edges — the
+// restriction that makes DDFs attractive, here checked dynamically by the
+// same detector as everything else.
+//
+// moved promises transfer to the new task as in Task.Async.
+func AsyncAwait(t *core.Task, deps []core.AnyPromise, f core.TaskFunc, moved ...core.Movable) (*core.Task, error) {
+	return t.AsyncNamed("data-driven", func(c *core.Task) error {
+		for _, d := range deps {
+			if err := core.Await(c, d); err != nil {
+				return err
+			}
+		}
+		return f(c)
+	}, moved...)
+}

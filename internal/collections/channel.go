@@ -1,0 +1,104 @@
+package collections
+
+import (
+	"repro/internal/core"
+)
+
+// payload is one link of the channel's promise chain: a value plus the
+// promise carrying the next link. ok=false marks end of stream.
+type payload[T any] struct {
+	value T
+	next  *core.Promise[payload[T]]
+	ok    bool
+}
+
+// Channel behaves like a promise that can be used repeatedly: the nth Recv
+// obtains the value from the nth Send (the paper's Listing 4). It is a
+// single-producer, single-consumer primitive: at any moment one task holds
+// the sending end (by owning the current producer promise) and one task
+// uses the receiving end. The sending end moves between tasks by moving
+// the Channel in an Async call — Channel implements core.Movable, and its
+// Promises method reports the one promise that must travel, whatever link
+// the chain has reached.
+type Channel[T any] struct {
+	label    string
+	producer *core.Promise[payload[T]]
+	consumer *core.Promise[payload[T]]
+}
+
+// NewChannel creates a channel whose sending end is owned by t.
+func NewChannel[T any](t *core.Task) *Channel[T] {
+	return NewChannelNamed[T](t, "chan")
+}
+
+// NewChannelNamed is NewChannel with a diagnostic label used for the
+// underlying promises.
+func NewChannelNamed[T any](t *core.Task, label string) *Channel[T] {
+	p := core.NewPromiseNamed[payload[T]](t, label+"[0]")
+	return &Channel[T]{label: label, producer: p, consumer: p}
+}
+
+// Promises implements core.Movable: moving the channel moves the current
+// producer promise, i.e. the sending end. The receiving end needs no
+// ownership (gets are free for any task) and so moves implicitly.
+func (c *Channel[T]) Promises() []core.AnyPromise {
+	return []core.AnyPromise{c.producer}
+}
+
+// Send delivers v to the nth Recv, fulfilling the current producer promise
+// and allocating the next link (owned by t). Only the task currently
+// owning the sending end may Send.
+func (c *Channel[T]) Send(t *core.Task, v T) error {
+	next := core.NewPromiseNamed[payload[T]](t, c.label+"[+]")
+	if err := c.producer.Set(t, payload[T]{value: v, next: next, ok: true}); err != nil {
+		// The send was rejected (not the owner / already closed): don't
+		// leave the freshly allocated link owned and unfulfillable.
+		_ = next.SetError(t, err)
+		return err
+	}
+	c.producer = next
+	return nil
+}
+
+// Close ends the stream: every subsequent Recv returns ok=false. After
+// Close the channel owns no promises ("no remaining promises" in
+// Listing 4), so the holding task can terminate cleanly.
+func (c *Channel[T]) Close(t *core.Task) error {
+	return c.producer.Set(t, payload[T]{ok: false})
+}
+
+// Recv blocks until the next Send (returning its value and ok=true) or
+// Close (returning ok=false). Receiving past Close keeps returning
+// ok=false.
+func (c *Channel[T]) Recv(t *core.Task) (T, bool, error) {
+	pl, err := c.consumer.Get(t)
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	if !pl.ok {
+		// Leave consumer parked on the terminal (fulfilled) promise so
+		// further Recvs keep reporting closure.
+		var zero T
+		return zero, false, nil
+	}
+	c.consumer = pl.next
+	return pl.value, true, nil
+}
+
+// MustRecv is Recv panicking on error, for pipeline code where an error is
+// a bug; the panic is recovered by the task wrapper.
+func (c *Channel[T]) MustRecv(t *core.Task) (T, bool) {
+	v, ok, err := c.Recv(t)
+	if err != nil {
+		panic(err)
+	}
+	return v, ok
+}
+
+// MustSend is Send panicking on error.
+func (c *Channel[T]) MustSend(t *core.Task, v T) {
+	if err := c.Send(t, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,108 @@
+package collections
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+// Property: a Channel behaves exactly like a FIFO queue — for any sequence
+// of sent values, Recv returns them in order and then reports closure,
+// regardless of how the sending end is split across tasks.
+func TestPropertyChannelIsFIFO(t *testing.T) {
+	check := func(values []int16, splitAt uint8) bool {
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		ok := true
+		err := rt.Run(func(tk *core.Task) error {
+			ch := NewChannel[int16](tk)
+			split := int(splitAt)
+			if split > len(values) {
+				split = len(values)
+			}
+			// First half sent by a child (channel moved there and back is
+			// impossible — ownership only moves down — so: the child sends
+			// the whole tail and closes).
+			head, tail := values[:split], values[split:]
+			for _, v := range head {
+				if err := ch.Send(tk, v); err != nil {
+					return err
+				}
+			}
+			if _, err := tk.Async(func(c *core.Task) error {
+				for _, v := range tail {
+					if err := ch.Send(c, v); err != nil {
+						return err
+					}
+				}
+				return ch.Close(c)
+			}, ch); err != nil {
+				return err
+			}
+			for i, want := range values {
+				v, okRecv, err := ch.Recv(tk)
+				if err != nil {
+					return err
+				}
+				if !okRecv || v != want {
+					t.Logf("recv %d = %v,%v want %v", i, v, okRecv, want)
+					ok = false
+					return nil
+				}
+			}
+			if _, okRecv, err := ch.Recv(tk); err != nil || okRecv {
+				t.Logf("tail: ok=%v err=%v", okRecv, err)
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: however many values flow through a channel, fulfilled-promise
+// accounting balances — sends+close equal sets, and the runtime sees no
+// leaked obligations in any mode.
+func TestPropertyChannelObligationsBalance(t *testing.T) {
+	check := func(n uint8) bool {
+		for _, mode := range testutil.AllModes() {
+			rt := core.NewRuntime(core.WithMode(mode), core.WithEventCounting(true))
+			err := rt.Run(func(tk *core.Task) error {
+				ch := NewChannel[int](tk)
+				for i := 0; i < int(n); i++ {
+					if err := ch.Send(tk, i); err != nil {
+						return err
+					}
+				}
+				if err := ch.Close(tk); err != nil {
+					return err
+				}
+				for {
+					_, ok, err := ch.Recv(tk)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+			})
+			if err != nil {
+				t.Logf("mode %v n %d: %v", mode, n, err)
+				return false
+			}
+			if st := rt.Stats(); st.Sets != int64(n)+1 { // n sends + close
+				t.Logf("mode %v: %d sets for %d sends", mode, st.Sets, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

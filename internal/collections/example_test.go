@@ -1,0 +1,94 @@
+package collections_test
+
+import (
+	"fmt"
+
+	"repro/internal/collections"
+	"repro/internal/core"
+)
+
+// The paper's Listing 4: a channel is a promise that can be used
+// repeatedly, and moving the channel to a new task moves its sending end.
+func ExampleChannel() {
+	rt := core.NewRuntime()
+	_ = rt.Run(func(t *core.Task) error {
+		ch := collections.NewChannel[int](t)
+		if err := ch.Send(t, 1); err != nil {
+			return err
+		}
+		if _, err := t.Async(func(child *core.Task) error {
+			if err := ch.Send(child, 2); err != nil {
+				return err
+			}
+			return ch.Close(child)
+		}, ch); err != nil {
+			return err
+		}
+		for {
+			v, ok, err := ch.Recv(t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				fmt.Println("closed")
+				return nil
+			}
+			fmt.Println("recv", v)
+		}
+	})
+	// Output:
+	// recv 1
+	// recv 2
+	// closed
+}
+
+// The asynchronous API of §1.1, built on the synchronous one: futures and
+// continuations with full ownership verification underneath.
+func ExampleThen() {
+	rt := core.NewRuntime()
+	_ = rt.Run(func(t *core.Task) error {
+		f, err := collections.Go(t, func(c *core.Task) (int, error) { return 6, nil })
+		if err != nil {
+			return err
+		}
+		out, err := collections.Then(t, f.Promise(), func(c *core.Task, v int) (int, error) {
+			return v * 7, nil
+		})
+		if err != nil {
+			return err
+		}
+		v, err := out.Get(t)
+		fmt.Println(v, err)
+		return nil
+	})
+	// Output:
+	// 42 <nil>
+}
+
+// Finish awaits a whole tree of spawned tasks, the X10/Habanero join used
+// by the QSort benchmark — implemented purely with promises.
+func ExampleRunFinish() {
+	rt := core.NewRuntime()
+	_ = rt.Run(func(t *core.Task) error {
+		sum := make([]int, 4)
+		err := collections.RunFinish(t, func(fs *collections.Finish) error {
+			for i := range sum {
+				i := i
+				if _, err := fs.Async(t, func(c *core.Task) error {
+					sum[i] = i * i
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(sum) // all children completed before RunFinish returned
+		return nil
+	})
+	// Output:
+	// [0 1 4 9]
+}

@@ -1,0 +1,70 @@
+package collections
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Finish is the X10 / Habanero-Java finish construct implemented with
+// promises, as the QSort benchmark requires (§6.3): the enclosing task
+// blocks until every task spawned through the scope — including tasks
+// spawned by those tasks — has terminated. Each spawn creates a completion
+// promise owned by (and moved into) the child; the child's wrapper fulfils
+// it on return, and RunFinish drains the accumulated promises.
+//
+// The scope's bookkeeping list is shared by the spawning tasks and guarded
+// by a mutex; the synchronization semantics themselves are pure promises,
+// so the deadlock detector sees every join edge.
+type Finish struct {
+	mu      sync.Mutex
+	pending []*core.Promise[struct{}]
+}
+
+// RunFinish executes body and then blocks until every task spawned via
+// the scope's Async has terminated. It returns the body's error joined
+// with any child failures (delivered through the completion promises).
+func RunFinish(t *core.Task, body func(fs *Finish) error) error {
+	fs := &Finish{}
+	err := body(fs)
+	for {
+		fs.mu.Lock()
+		n := len(fs.pending)
+		if n == 0 {
+			fs.mu.Unlock()
+			break
+		}
+		p := fs.pending[n-1]
+		fs.pending = fs.pending[:n-1]
+		fs.mu.Unlock()
+		if _, e := p.Get(t); e != nil {
+			err = errors.Join(err, e)
+		}
+	}
+	return err
+}
+
+// Async spawns f as a child of t registered with the finish scope. Any
+// task inside the scope (not just the one that called RunFinish) may
+// spawn through it; all are awaited. moved promises transfer as in
+// core.Task.Async.
+func (fs *Finish) Async(t *core.Task, f core.TaskFunc, moved ...core.Movable) (*core.Task, error) {
+	done := core.NewPromiseNamed[struct{}](t, "finish-join")
+	all := append(append(make([]core.Movable, 0, len(moved)+1), moved...), done)
+	child, err := t.Async(func(c *core.Task) error {
+		if e := f(c); e != nil {
+			_ = done.SetError(c, e)
+			return e
+		}
+		return done.Set(c, struct{}{})
+	}, all...)
+	if err != nil {
+		_ = done.SetError(t, err)
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.pending = append(fs.pending, done)
+	fs.mu.Unlock()
+	return child, nil
+}

@@ -1,0 +1,175 @@
+package collections
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestFinishAwaitsAllChildren(t *testing.T) {
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var done atomic.Int32
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				err := RunFinish(tk, func(fs *Finish) error {
+					for i := 0; i < 20; i++ {
+						if _, e := fs.Async(tk, func(c *core.Task) error {
+							done.Add(1)
+							return nil
+						}); e != nil {
+							return e
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if done.Load() != 20 {
+					return fmt.Errorf("finish returned with %d/20 children done", done.Load())
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestFinishAwaitsTransitiveSpawns(t *testing.T) {
+	// Children spawn grandchildren through the same scope (the QSort
+	// recursion shape); finish must await all of them.
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var leaves atomic.Int32
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		err := RunFinish(tk, func(fs *Finish) error {
+			var rec func(t *core.Task, depth int) error
+			rec = func(t *core.Task, depth int) error {
+				if depth == 0 {
+					leaves.Add(1)
+					return nil
+				}
+				for i := 0; i < 2; i++ {
+					if _, e := fs.Async(t, func(c *core.Task) error {
+						return rec(c, depth-1)
+					}); e != nil {
+						return e
+					}
+				}
+				return nil
+			}
+			return rec(tk, 4)
+		})
+		if err != nil {
+			return err
+		}
+		if leaves.Load() != 16 {
+			return fmt.Errorf("finish saw %d/16 leaves", leaves.Load())
+		}
+		return nil
+	})
+}
+
+func TestFinishPropagatesChildErrors(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	sentinel := errors.New("child broke")
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		e := RunFinish(tk, func(fs *Finish) error {
+			_, err := fs.Async(tk, func(c *core.Task) error { return sentinel })
+			return err
+		})
+		if !errors.Is(e, sentinel) {
+			return fmt.Errorf("finish error = %v", e)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("runtime error = %v", err)
+	}
+}
+
+func TestFinishBodyErrorStillJoins(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	bodyErr := errors.New("body failed")
+	var childRan atomic.Bool
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		e := RunFinish(tk, func(fs *Finish) error {
+			if _, err := fs.Async(tk, func(c *core.Task) error {
+				childRan.Store(true)
+				return nil
+			}); err != nil {
+				return err
+			}
+			return bodyErr
+		})
+		if !errors.Is(e, bodyErr) {
+			return fmt.Errorf("finish = %v", e)
+		}
+		if !childRan.Load() {
+			return errors.New("finish returned before child completed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFinish(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		return RunFinish(tk, func(fs *Finish) error { return nil })
+	})
+}
+
+func TestNestedFinishScopes(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var order []string
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		err := RunFinish(tk, func(outer *Finish) error {
+			if _, e := outer.Async(tk, func(c *core.Task) error {
+				return RunFinish(c, func(inner *Finish) error {
+					_, e := inner.Async(c, func(cc *core.Task) error {
+						order = append(order, "grandchild")
+						return nil
+					})
+					return e
+				})
+			}); e != nil {
+				return e
+			}
+			return nil
+		})
+		order = append(order, "outer-done")
+		if err != nil {
+			return err
+		}
+		if len(order) != 2 || order[0] != "grandchild" {
+			return fmt.Errorf("order = %v", order)
+		}
+		return nil
+	})
+}
+
+func TestFinishMovesPromises(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Ownership))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		p := core.NewPromiseNamed[int](tk, "through-finish")
+		err := RunFinish(tk, func(fs *Finish) error {
+			_, e := fs.Async(tk, func(c *core.Task) error {
+				return p.Set(c, 7)
+			}, p)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if v := p.MustGet(tk); v != 7 {
+			return fmt.Errorf("v = %d", v)
+		}
+		return nil
+	})
+}

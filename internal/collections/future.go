@@ -1,0 +1,66 @@
+package collections
+
+import (
+	"repro/internal/core"
+)
+
+// Future binds a promise to the return value of a dedicated task — the
+// special case of a promise the paper contrasts with the general
+// construct. Go spawns the task; Get awaits its value with full policy
+// checking (the underlying promise is owned by the spawned task, so the
+// deadlock detector sees through it).
+type Future[T any] struct {
+	p    *core.Promise[T]
+	task *core.Task
+}
+
+// Go spawns f as a child of t and returns a future for its result. The
+// moved promises are transferred to the child in the same spawn, so a
+// future-producing task can also take responsibility for other promises.
+func Go[T any](t *core.Task, f func(*core.Task) (T, error), moved ...core.Movable) (*Future[T], error) {
+	return GoNamed(t, "", f, moved...)
+}
+
+// GoNamed is Go with a diagnostic name for the child task and its promise.
+func GoNamed[T any](t *core.Task, name string, f func(*core.Task) (T, error), moved ...core.Movable) (*Future[T], error) {
+	label := name
+	if label == "" {
+		label = "future"
+	}
+	p := core.NewPromiseNamed[T](t, label)
+	all := append(append(make([]core.Movable, 0, len(moved)+1), moved...), p)
+	body := func(c *core.Task) error {
+		v, err := f(c)
+		if err != nil {
+			_ = p.SetError(c, err)
+			return err
+		}
+		return p.Set(c, v)
+	}
+	var task *core.Task
+	var err error
+	if name == "" {
+		task, err = t.Async(body, all...)
+	} else {
+		task, err = t.AsyncNamed(name, body, all...)
+	}
+	if err != nil {
+		// The transfer failed atomically; p is still owned by t. Complete
+		// it so t does not trip an omitted set through our fault.
+		_ = p.SetError(t, err)
+		return nil, err
+	}
+	return &Future[T]{p: p, task: task}, nil
+}
+
+// Get awaits the future's value.
+func (f *Future[T]) Get(t *core.Task) (T, error) { return f.p.Get(t) }
+
+// MustGet is Get panicking on error.
+func (f *Future[T]) MustGet(t *core.Task) T { return f.p.MustGet(t) }
+
+// Task returns the task computing this future.
+func (f *Future[T]) Task() *core.Task { return f.task }
+
+// Promise exposes the underlying promise (for composition and tests).
+func (f *Future[T]) Promise() *core.Promise[T] { return f.p }

@@ -1,0 +1,166 @@
+package collections
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestFutureBasic(t *testing.T) {
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				f, err := Go(tk, func(c *core.Task) (int, error) { return 21 * 2, nil })
+				if err != nil {
+					return err
+				}
+				v, err := f.Get(tk)
+				if err != nil {
+					return err
+				}
+				if v != 42 {
+					return fmt.Errorf("v = %d", v)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestFutureErrorPropagates(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	sentinel := errors.New("compute failed")
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		f, err := Go(tk, func(c *core.Task) (int, error) { return 0, sentinel })
+		if err != nil {
+			return err
+		}
+		_, e := f.Get(tk)
+		if !errors.Is(e, sentinel) {
+			return fmt.Errorf("future get = %v", e)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("runtime did not record the failure: %v", err)
+	}
+}
+
+func TestFuturePanicPropagates(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		f, err := Go(tk, func(c *core.Task) (int, error) { panic("bang") })
+		if err != nil {
+			return err
+		}
+		_, e := f.Get(tk)
+		var bp *core.BrokenPromiseError
+		if !errors.As(e, &bp) {
+			return fmt.Errorf("future get after panic = %v", e)
+		}
+		return nil
+	})
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not recorded: %v", err)
+	}
+}
+
+func TestFutureFanOut(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		const n = 32
+		fs := make([]*Future[int], n)
+		for i := 0; i < n; i++ {
+			i := i
+			var err error
+			fs[i], err = GoNamed(tk, fmt.Sprintf("sq-%d", i), func(c *core.Task) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		sum := 0
+		for _, f := range fs {
+			sum += f.MustGet(tk)
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			want += i * i
+		}
+		if sum != want {
+			return fmt.Errorf("sum = %d want %d", sum, want)
+		}
+		return nil
+	})
+}
+
+func TestFutureMovesExtraPromises(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Ownership))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		side := core.NewPromiseNamed[string](tk, "side")
+		f, err := Go(tk, func(c *core.Task) (int, error) {
+			if side.Owner() != c {
+				return 0, errors.New("side promise did not move")
+			}
+			if err := side.Set(c, "effect"); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}, side)
+		if err != nil {
+			return err
+		}
+		if v := f.MustGet(tk); v != 1 {
+			return fmt.Errorf("v = %d", v)
+		}
+		if s := side.MustGet(tk); s != "effect" {
+			return fmt.Errorf("side = %q", s)
+		}
+		return nil
+	})
+}
+
+func TestFutureNestedComposition(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		outer, err := Go(tk, func(c *core.Task) (int, error) {
+			inner, err := Go(c, func(cc *core.Task) (int, error) { return 10, nil })
+			if err != nil {
+				return 0, err
+			}
+			v, err := inner.Get(c)
+			return v + 1, err
+		})
+		if err != nil {
+			return err
+		}
+		if v := outer.MustGet(tk); v != 11 {
+			return fmt.Errorf("v = %d", v)
+		}
+		return nil
+	})
+}
+
+func TestFutureTaskAccessor(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		f, err := GoNamed(tk, "named", func(c *core.Task) (int, error) { return 0, nil })
+		if err != nil {
+			return err
+		}
+		if f.Task() == nil || f.Task().Name() != "named" {
+			return fmt.Errorf("task = %v", f.Task())
+		}
+		if f.Promise() == nil {
+			return errors.New("nil promise")
+		}
+		f.MustGet(tk)
+		return nil
+	})
+}

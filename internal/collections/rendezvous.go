@@ -1,0 +1,63 @@
+package collections
+
+import (
+	"repro/internal/core"
+)
+
+// Rendezvous is the synchronous meeting point the paper sketches as future
+// work (§7), in the style of Ada and Concurrent C: an Offer and a Take
+// block until both parties have arrived, then the value passes from the
+// offering task to the taking task and both continue.
+//
+// It is built from a pair of promises: the offer promise carries the
+// value, the ack promise releases the offerer. Note what it deliberately
+// does NOT do: it cannot hand off promise *ownership* between two existing
+// tasks, because — as the paper argues — a promise may have many readers
+// or none, so there is no guaranteed unique receiving task; ownership
+// still moves only at spawn. A Rendezvous makes the restriction ergonomic:
+// the taker learns a value synchronously and can immediately spawn a child
+// with whatever promises it owns.
+type Rendezvous[T any] struct {
+	offer *core.Promise[T]
+	ack   *core.Promise[struct{}]
+}
+
+// NewRendezvous creates the meeting point. The offer end (OfferEnd) must
+// be moved to the offering task and the take end (TakeEnd) to the taking
+// task; the constructor's task owns both initially.
+func NewRendezvous[T any](t *core.Task) *Rendezvous[T] {
+	return &Rendezvous[T]{
+		offer: core.NewPromiseNamed[T](t, "rdv-offer"),
+		ack:   core.NewPromiseNamed[struct{}](t, "rdv-ack"),
+	}
+}
+
+// OfferEnd is the Movable for the offering task (the offer promise).
+func (r *Rendezvous[T]) OfferEnd() core.Movable { return r.offer }
+
+// TakeEnd is the Movable for the taking task (the ack promise).
+func (r *Rendezvous[T]) TakeEnd() core.Movable { return r.ack }
+
+// Offer presents v and blocks until a Take has consumed it.
+func (r *Rendezvous[T]) Offer(t *core.Task, v T) error {
+	if err := r.offer.Set(t, v); err != nil {
+		return err
+	}
+	_, err := r.ack.Get(t)
+	return err
+}
+
+// Take blocks until an Offer arrives, acknowledges it, and returns the
+// value.
+func (r *Rendezvous[T]) Take(t *core.Task) (T, error) {
+	v, err := r.offer.Get(t)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if err := r.ack.Set(t, struct{}{}); err != nil {
+		var zero T
+		return zero, err
+	}
+	return v, nil
+}

@@ -1,0 +1,38 @@
+// Package core implements the ownership policy and lock-free deadlock
+// detector for promises from Voss & Sarkar, "An Ownership Policy and
+// Deadlock Detector for Promises" (PPoPP 2021).
+//
+// A Promise is a write-once container: every Get blocks until the first
+// and only Set. The package adds the paper's ownership semantics: every
+// promise is owned by exactly one task at a time, the owner is responsible
+// for fulfilling it (or handing it to a child task at spawn), and the
+// runtime verifies the policy:
+//
+//   - Rule 1: NewPromise makes the calling task the owner.
+//   - Rule 2: Task.Async moves listed promises to the child; the parent
+//     must own them at that moment.
+//   - Rule 3: a task terminating while still owning unfulfilled promises
+//     is an omitted-set bug, reported with blame (the task and the exact
+//     promises). The leaked promises are then completed exceptionally so
+//     that blocked consumers unblock with an attributable error.
+//   - Rule 4: only the owner may Set a promise, and only once.
+//
+// With ownership in place, a deadlock is a cycle of tasks t_i awaiting
+// promises p_i owned by t_{i+1 mod n}. Runtime detection (Algorithm 2 of
+// the paper) runs inside Get: the task publishes its waitingOn edge, then
+// traverses alternating owner / waitingOn edges with a double read of each
+// owner field so that concurrent transfers and fulfilments never cause a
+// false alarm. The detector is precise: it raises an alarm if and only if
+// a deadlock cycle exists, and the last task to close a cycle always
+// observes it.
+//
+// The paper's memory-consistency requirements (§5.1) are met here by
+// sync/atomic: owner and waitingOn are atomic.Pointer fields, Go atomics
+// are sequentially consistent (stronger than required), and the reset of
+// waitingOn after a successful wait is ordered after the fulfilment is
+// observed via the promise's done channel.
+//
+// Three verification modes are provided so that the paper's baseline
+// comparison can be reproduced: Unverified (no policy, the baseline),
+// Ownership (Algorithm 1 only), and Full (Algorithms 1 and 2).
+package core

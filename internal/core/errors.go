@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrTimeout is reported by RunWithTimeout when the program did not finish
+// within its deadline. Under the Unverified and Ownership modes a deadlock
+// cycle manifests only as such a hang; Full mode raises a DeadlockError at
+// the moment the cycle forms instead.
+var ErrTimeout = errors.New("core: run timed out (program hung; possible undetected deadlock)")
+
+// ErrAwaitTimeout is returned by Promise.GetTimeout when the deadline
+// expires before fulfilment. It is deliberately NOT a DeadlockError: a
+// timed-out wait proves nothing about cycles (the heuristic's imprecision
+// discussed in §1).
+var ErrAwaitTimeout = errors.New("core: promise wait timed out (heuristic; not proof of deadlock)")
+
+// OwnershipError reports a violation of the ownership policy: a task tried
+// to set or move a promise it does not currently own.
+type OwnershipError struct {
+	Op           string // "set" or "move"
+	TaskID       uint64
+	TaskName     string
+	PromiseID    uint64
+	PromiseLabel string
+	OwnerID      uint64 // 0 when the promise has no owner (already fulfilled)
+	OwnerName    string
+}
+
+func (e *OwnershipError) Error() string {
+	owner := "no task (already fulfilled)"
+	if e.OwnerID != 0 {
+		owner = fmt.Sprintf("task %s", e.OwnerName)
+	}
+	return fmt.Sprintf("core: ownership violation: task %s cannot %s promise %s owned by %s",
+		e.TaskName, e.Op, e.PromiseLabel, owner)
+}
+
+// DoubleSetError reports a second fulfilment of a promise. Fulfilling a
+// promise twice is a runtime error in every mode, including Unverified:
+// the paper relies on this pre-existing property of promises.
+type DoubleSetError struct {
+	TaskID       uint64
+	TaskName     string
+	PromiseID    uint64
+	PromiseLabel string
+}
+
+func (e *DoubleSetError) Error() string {
+	return fmt.Sprintf("core: double set: task %s set promise %s, which was already fulfilled",
+		e.TaskName, e.PromiseLabel)
+}
+
+// OmittedSetError reports that a task terminated while still owning one or
+// more unfulfilled promises (rule 3 of the ownership policy). Blame is
+// attributable: the offending task and the outstanding promises are named.
+//
+// When the runtime tracks ownership with a counter instead of a list
+// (TrackCounter), only Count is populated: the bug is still detected the
+// moment it occurs, but the promises cannot be named — the space/blame
+// trade-off discussed in §6.2 of the paper.
+type OmittedSetError struct {
+	TaskID   uint64
+	TaskName string
+	Promises []AnyPromise // nil under TrackCounter
+	Count    int
+}
+
+func (e *OmittedSetError) Error() string {
+	if len(e.Promises) == 0 {
+		return fmt.Sprintf("core: omitted set: task %s terminated owning %d unfulfilled promise(s)",
+			e.TaskName, e.Count)
+	}
+	labels := make([]string, len(e.Promises))
+	for i, p := range e.Promises {
+		labels[i] = p.Label()
+	}
+	return fmt.Sprintf("core: omitted set: task %s terminated owning unfulfilled promise(s): %s",
+		e.TaskName, strings.Join(labels, ", "))
+}
+
+// BrokenPromiseError is delivered to any task blocked on (or later getting)
+// a promise whose owner terminated without fulfilling it, or whose owner
+// failed. It is the exceptional-completion cascade of §6.2: the runtime
+// completes every leaked promise with this error so consumers unblock.
+type BrokenPromiseError struct {
+	PromiseID    uint64
+	PromiseLabel string
+	TaskID       uint64 // the task that leaked the promise
+	TaskName     string
+	Cause        error // the leaking task's own failure, or its OmittedSetError
+}
+
+func (e *BrokenPromiseError) Error() string {
+	return fmt.Sprintf("core: broken promise %s: owner task %s terminated without fulfilling it: %v",
+		e.PromiseLabel, e.TaskName, e.Cause)
+}
+
+// Unwrap exposes the cause so errors.Is/As can inspect cascades.
+func (e *BrokenPromiseError) Unwrap() error { return e.Cause }
+
+// CycleNode is one hop in a detected deadlock cycle: Task is blocked
+// awaiting Promise, and Promise is owned by the Task of the next node.
+type CycleNode struct {
+	TaskID       uint64
+	TaskName     string
+	PromiseID    uint64
+	PromiseLabel string
+}
+
+// DeadlockError reports a deadlock cycle detected by Algorithm 2, raised in
+// the task whose Get completed the cycle. Cycle lists every task/promise
+// pair in the cycle, starting with the detecting task.
+type DeadlockError struct {
+	Cycle []CycleNode
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: deadlock cycle of %d task(s): ", len(e.Cycle))
+	for i, n := range e.Cycle {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "task %s awaits %s", n.TaskName, n.PromiseLabel)
+	}
+	if len(e.Cycle) > 0 {
+		fmt.Fprintf(&b, " -> owned by task %s", e.Cycle[0].TaskName)
+	}
+	return b.String()
+}
+
+// PanicError wraps a panic recovered from a task function so it can be
+// reported through the runtime's error channel like any other failure.
+type PanicError struct {
+	TaskID   uint64
+	TaskName string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: task %s panicked: %v", e.TaskName, e.Value)
+}

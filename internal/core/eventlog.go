@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind classifies an entry in the runtime's event log.
+type EventKind uint8
+
+// Event kinds, covering every policy-relevant action: the life cycle of a
+// promise (allocate, move, fulfil), the blocking structure (block, wake),
+// task boundaries, and alarms.
+const (
+	EvNewPromise EventKind = iota
+	EvMove
+	EvSet
+	EvSetError
+	EvBlock
+	EvWake
+	EvTaskStart
+	EvTaskEnd
+	EvAlarm
+)
+
+// String returns the kind's log tag.
+func (k EventKind) String() string {
+	switch k {
+	case EvNewPromise:
+		return "new"
+	case EvMove:
+		return "move"
+	case EvSet:
+		return "set"
+	case EvSetError:
+		return "set-error"
+	case EvBlock:
+		return "block"
+	case EvWake:
+		return "wake"
+	case EvTaskStart:
+		return "task-start"
+	case EvTaskEnd:
+		return "task-end"
+	case EvAlarm:
+		return "alarm"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of the event log: which task did what to which
+// promise (fields are zero when not applicable). Seq is a global sequence
+// number; events with ascending Seq are in a total order consistent with
+// each task's program order.
+type Event struct {
+	Seq          uint64
+	Kind         EventKind
+	TaskID       uint64
+	TaskName     string
+	PromiseID    uint64
+	PromiseLabel string
+	Detail       string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d %-10s task=%s", e.Seq, e.Kind, e.TaskName)
+	if e.PromiseLabel != "" {
+		fmt.Fprintf(&b, " promise=%s", e.PromiseLabel)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// eventLog is a bounded ring of Events. It is a debugging aid
+// (WithEventLog): the mutex serializes writers, so it is not for timed
+// runs.
+type eventLog struct {
+	mu    sync.Mutex
+	seq   atomic.Uint64
+	ring  []Event
+	next  int
+	total int
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &eventLog{ring: make([]Event, capacity)}
+}
+
+func (l *eventLog) add(e Event) {
+	e.Seq = l.seq.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	l.total++
+	l.mu.Unlock()
+}
+
+// snapshot returns the retained events in order.
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.total
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]Event, 0, n)
+	start := (l.next - n + len(l.ring)) % len(l.ring)
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// WithEventLog retains the most recent `capacity` policy events (promise
+// allocation, moves, sets, blocks, wakes, task boundaries, alarms) for
+// post-mortem inspection via Runtime.Events / Runtime.EventLog. capacity
+// <= 0 selects 4096. Debugging aid: adds a mutexed append to every
+// recorded action.
+func WithEventLog(capacity int) Option {
+	return func(r *Runtime) { r.events = newEventLog(capacity) }
+}
+
+// Events returns the retained event-log entries in order, or nil when
+// WithEventLog was not set.
+func (r *Runtime) Events() []Event {
+	if r.events == nil {
+		return nil
+	}
+	return r.events.snapshot()
+}
+
+// EventLog renders the retained events as a multi-line log string.
+func (r *Runtime) EventLog() string {
+	evs := r.Events()
+	if evs == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// logEvent appends an event if logging is enabled. Hot paths call it
+// behind a nil check on r.events, so disabled logging costs one branch.
+func (r *Runtime) logEvent(kind EventKind, t *Task, s *pstate, detail string) {
+	e := Event{Kind: kind, Detail: detail}
+	if t != nil {
+		e.TaskID, e.TaskName = t.id, t.name
+	}
+	if s != nil {
+		e.PromiseID, e.PromiseLabel = s.id, s.label
+	}
+	r.events.add(e)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func kindsOf(evs []Event) map[EventKind]int {
+	m := map[EventKind]int{}
+	for _, e := range evs {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func TestEventLogDisabledByDefault(t *testing.T) {
+	rt := NewRuntime()
+	if err := run(t, rt, func(tk *Task) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Events() != nil || rt.EventLog() != "" {
+		t.Fatal("event log active without WithEventLog")
+	}
+}
+
+func TestEventLogCapturesLifecycle(t *testing.T) {
+	rt := NewRuntime(WithEventLog(0))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "traced")
+		if _, e := tk.AsyncNamed("child", func(c *Task) error {
+			return p.Set(c, 1)
+		}, p); e != nil {
+			return e
+		}
+		_, e := p.Get(tk)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kindsOf(rt.Events())
+	if k[EvNewPromise] != 1 {
+		t.Fatalf("new events = %d", k[EvNewPromise])
+	}
+	if k[EvMove] != 1 {
+		t.Fatalf("move events = %d", k[EvMove])
+	}
+	if k[EvSet] != 1 {
+		t.Fatalf("set events = %d", k[EvSet])
+	}
+	if k[EvTaskStart] != 2 || k[EvTaskEnd] != 2 {
+		t.Fatalf("task events = %d/%d", k[EvTaskStart], k[EvTaskEnd])
+	}
+	// The get may or may not block (fast path) depending on timing, so
+	// EvBlock/EvWake are 0 or 1 but must agree.
+	if k[EvBlock] != k[EvWake] {
+		t.Fatalf("block/wake imbalance: %d/%d", k[EvBlock], k[EvWake])
+	}
+	log := rt.EventLog()
+	for _, want := range []string{"move", "traced", "to child", "set"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestEventLogSequenceIsMonotone(t *testing.T) {
+	rt := NewRuntime(WithEventLog(0))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 20; i++ {
+			p := NewPromise[int](tk)
+			if e := p.Set(tk, i); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rt.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence not monotone at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestEventLogRingBounds(t *testing.T) {
+	rt := NewRuntime(WithEventLog(8))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 50; i++ {
+			p := NewPromise[int](tk)
+			if e := p.Set(tk, i); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rt.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	// The retained suffix must be the most recent events.
+	last := evs[len(evs)-1]
+	if last.Kind != EvTaskEnd {
+		t.Fatalf("last retained event = %v, want task-end", last.Kind)
+	}
+}
+
+func TestEventLogRecordsAlarms(t *testing.T) {
+	rt := NewRuntime(WithEventLog(0))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "cyc")
+		if _, e := p.Get(tk); e == nil {
+			return fmt.Errorf("no alarm")
+		}
+		return p.Set(tk, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kindsOf(rt.Events())
+	if k[EvAlarm] == 0 {
+		t.Fatal("alarm not logged")
+	}
+	if !strings.Contains(rt.EventLog(), "deadlock") {
+		t.Fatalf("alarm detail missing:\n%s", rt.EventLog())
+	}
+}
+
+func TestEventLogSetError(t *testing.T) {
+	rt := NewRuntime(WithEventLog(0))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "bad")
+		return p.SetError(tk, fmt.Errorf("boom"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := kindsOf(rt.Events()); k[EvSetError] != 1 {
+		t.Fatalf("set-error events = %d", k[EvSetError])
+	}
+	if !strings.Contains(rt.EventLog(), "boom") {
+		t.Fatal("error detail missing")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvNewPromise, EvMove, EvSet, EvSetError, EvBlock, EvWake, EvTaskStart, EvTaskEnd, EvAlarm, EventKind(99)}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "sync"
+
+// globalDetector is the DetectGlobalLock ablation: a classical waits-for
+// graph guarded by one mutex, in the style of centralized deadlock tools
+// for barriers and locks (the paper cites Armus, with overheads up to
+// 1.5x, as the prior-art comparison point). Every blocking Get serializes
+// through the mutex both when it starts waiting and when it stops, which
+// is exactly the serialization bottleneck the paper's lock-free Algorithm
+// 2 avoids. The benchmark suite quantifies the difference.
+type globalDetector struct {
+	mu      sync.Mutex
+	waiting map[*Task]*pstate
+}
+
+func newGlobalDetector() *globalDetector {
+	return &globalDetector{waiting: make(map[*Task]*pstate)}
+}
+
+// beforeWait registers the edge t -> s and checks the graph for a cycle
+// through it. It returns a DeadlockError if one exists, leaving t
+// unregistered in that case.
+func (g *globalDetector) beforeWait(t *Task, s *pstate) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.waiting[t] = s
+	cur := s
+	for {
+		owner := cur.owner.Load()
+		if owner == nil {
+			return nil // fulfilled or moving: progress
+		}
+		if owner == t {
+			delete(g.waiting, t)
+			return t.buildCycleLocked(s, g)
+		}
+		next, ok := g.waiting[owner]
+		if !ok {
+			return nil // owner is runnable: progress
+		}
+		cur = next
+	}
+}
+
+// afterWait removes t's edge once its wait has been satisfied.
+func (g *globalDetector) afterWait(t *Task) {
+	g.mu.Lock()
+	delete(g.waiting, t)
+	g.mu.Unlock()
+}
+
+// buildCycleLocked reconstructs the cycle using the waiting map (the
+// caller holds the mutex, so the map is stable).
+func (t0 *Task) buildCycleLocked(p0 *pstate, g *globalDetector) *DeadlockError {
+	const maxNodes = 1 << 20
+	cyc := []CycleNode{{TaskID: t0.id, TaskName: t0.name, PromiseID: p0.id, PromiseLabel: p0.label}}
+	t := p0.owner.Load()
+	for t != nil && t != t0 && len(cyc) < maxNodes {
+		p, ok := g.waiting[t]
+		if !ok {
+			break
+		}
+		cyc = append(cyc, CycleNode{TaskID: t.id, TaskName: t.name, PromiseID: p.id, PromiseLabel: p.label})
+		t = p.owner.Load()
+	}
+	return &DeadlockError{Cycle: cyc}
+}

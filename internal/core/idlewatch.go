@@ -1,0 +1,76 @@
+package core
+
+import "sync"
+
+// idleWatch implements the whole-program detection strategy the paper
+// contrasts with in §1: like the Go runtime's "all goroutines are asleep —
+// deadlock!" check, it raises an alarm only when EVERY live task is
+// blocked on a promise. It is provided as a comparator (WithIdleWatch) so
+// tests and demos can show its blind spot: one live bystander task — a
+// server, a heartbeat — silences it forever, while Algorithm 2 names the
+// cycle the moment it forms.
+//
+// Only promise waits count as blocked; a task blocked on anything else
+// (its own channels, timers) counts as runnable, which matches the
+// conservative spirit of the runtime check (fewer false alarms, more
+// missed deadlocks).
+type idleWatch struct {
+	mu          sync.Mutex
+	live        int
+	blocked     int
+	fired       bool
+	onQuiescent func(liveTasks int)
+}
+
+func newIdleWatch(onQuiescent func(int)) *idleWatch {
+	return &idleWatch{onQuiescent: onQuiescent}
+}
+
+func (w *idleWatch) taskStarted() {
+	w.mu.Lock()
+	w.live++
+	w.fired = false
+	w.mu.Unlock()
+}
+
+func (w *idleWatch) taskFinished() {
+	w.mu.Lock()
+	w.live--
+	cb := w.checkLocked()
+	w.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+func (w *idleWatch) enterBlocked() {
+	w.mu.Lock()
+	w.blocked++
+	cb := w.checkLocked()
+	w.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+func (w *idleWatch) exitBlocked() {
+	w.mu.Lock()
+	w.blocked--
+	w.fired = false
+	w.mu.Unlock()
+}
+
+// checkLocked returns the callback to invoke (outside the lock) when the
+// program has just become quiescent: every live task blocked on a promise.
+func (w *idleWatch) checkLocked() func() {
+	if w.fired || w.live == 0 || w.blocked != w.live {
+		return nil
+	}
+	w.fired = true
+	n := w.live
+	f := w.onQuiescent
+	if f == nil {
+		return nil
+	}
+	return func() { f(n) }
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNewPromiseOwnedByCreator(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		if p.Owner() != tk {
+			return errors.New("creator does not own new promise")
+		}
+		return p.Set(tk, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnershipNotTrackedWhenUnverified(t *testing.T) {
+	rt := NewRuntime(WithMode(Unverified))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		if p.Owner() != nil {
+			return errors.New("unverified mode tracked an owner")
+		}
+		// Any task may set in unverified mode, including non-creators with
+		// no transfer.
+		if _, e := tk.Async(func(c *Task) error { return p.Set(c, 1) }); e != nil {
+			return e
+		}
+		_, e := p.Get(tk)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetClearsOwner(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		p.MustSet(tk, 1)
+		if p.Owner() != nil {
+			return errors.New("owner not cleared by set")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncTransfersOwnership(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		child, e := tk.Async(func(c *Task) error {
+			if p.Owner() != c {
+				return errors.New("child does not own moved promise")
+			}
+			return p.Set(c, 1)
+		}, p)
+		if e != nil {
+			return e
+		}
+		_ = child
+		_, e = p.Get(tk)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetByNonOwnerFails(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	var violation error
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		ch, e := tk.Async(func(c *Task) error {
+			violation = p.Set(c, 99) // c does not own p
+			return nil
+		})
+		if e != nil {
+			return e
+		}
+		if e := ch.Wait(); e != nil {
+			return e
+		}
+		return p.Set(tk, 1) // the real owner can still fulfil it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oe *OwnershipError
+	if !errors.As(violation, &oe) {
+		t.Fatalf("non-owner set returned %v, want OwnershipError", violation)
+	}
+	if oe.Op != "set" {
+		t.Fatalf("op = %q", oe.Op)
+	}
+}
+
+func TestMoveNotOwnedPromiseFails(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		// Move p to child 1; then try to move it again to child 2.
+		if _, e := tk.Async(func(c *Task) error { return p.Set(c, 1) }, p); e != nil {
+			return e
+		}
+		_, e := tk.Async(func(c *Task) error { return nil }, p)
+		var oe *OwnershipError
+		if !errors.As(e, &oe) {
+			return fmt.Errorf("second move returned %v, want OwnershipError", e)
+		}
+		if oe.Op != "move" {
+			return fmt.Errorf("op = %q", oe.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveFulfilledPromiseFails(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		p.MustSet(tk, 1)
+		_, e := tk.Async(func(c *Task) error { return nil }, p)
+		var oe *OwnershipError
+		if !errors.As(e, &oe) {
+			return fmt.Errorf("moving fulfilled promise returned %v, want OwnershipError", e)
+		}
+		if oe.OwnerID != 0 {
+			return fmt.Errorf("owner id = %d, want 0 (fulfilled)", oe.OwnerID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedMoveDoesNotStartChild(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	started := false
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		p.MustSet(tk, 1)
+		child, e := tk.Async(func(c *Task) error { started = true; return nil }, p)
+		if e == nil {
+			return errors.New("move of fulfilled promise succeeded")
+		}
+		if child != nil {
+			return errors.New("child returned despite failed move")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started {
+		t.Fatal("child ran despite rejected transfer")
+	}
+}
+
+func TestOmittedSetDetectedWithBlame(t *testing.T) {
+	// Listing 2 of the paper: t4 forgets to set s.
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		r := NewPromiseNamed[int](tk, "r")
+		s := NewPromiseNamed[int](tk, "s")
+		if _, e := tk.AsyncNamed("t3", func(t3 *Task) error {
+			if _, e := t3.AsyncNamed("t4", func(t4 *Task) error {
+				return nil // forgot to set s
+			}, s); e != nil {
+				return e
+			}
+			return r.Set(t3, 1)
+		}, r, s); e != nil {
+			return e
+		}
+		if _, e := r.Get(tk); e != nil {
+			return e
+		}
+		_, e := s.Get(tk) // unblocked by the cascade, with an error
+		var bp *BrokenPromiseError
+		if !errors.As(e, &bp) {
+			return fmt.Errorf("get(s) returned %v, want BrokenPromiseError", e)
+		}
+		if bp.TaskName != "t4" {
+			return fmt.Errorf("blame fell on %q, want t4", bp.TaskName)
+		}
+		if bp.PromiseLabel != "s" {
+			return fmt.Errorf("promise %q, want s", bp.PromiseLabel)
+		}
+		return nil
+	})
+	var om *OmittedSetError
+	if !errors.As(err, &om) {
+		t.Fatalf("run error = %v, want to contain OmittedSetError", err)
+	}
+	if om.TaskName != "t4" {
+		t.Fatalf("omitted set blames %q, want t4", om.TaskName)
+	}
+	if len(om.Promises) != 1 || om.Promises[0].Label() != "s" {
+		t.Fatalf("omitted promises = %v", om.Promises)
+	}
+}
+
+func TestOmittedSetUndetectedWhenUnverified(t *testing.T) {
+	// The same bug under the baseline: the consumer hangs forever, which is
+	// exactly why the paper's policy exists.
+	rt := NewRuntime(WithMode(Unverified))
+	err := rt.RunWithTimeout(200_000_000, func(tk *Task) error { // 200ms
+		s := NewPromise[int](tk)
+		if _, e := tk.Async(func(c *Task) error { return nil }, s); e != nil {
+			return e
+		}
+		_, e := s.Get(tk) // blocks forever
+		return e
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("baseline run = %v, want ErrTimeout hang", err)
+	}
+}
+
+func TestOmittedSetOnPanicCascades(t *testing.T) {
+	// A task that dies by panic still owes its promises; consumers must be
+	// unblocked with the panic as the cause.
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "out")
+		if _, e := tk.AsyncNamed("worker", func(c *Task) error {
+			panic("worker exploded")
+		}, p); e != nil {
+			return e
+		}
+		_, e := p.Get(tk)
+		var bp *BrokenPromiseError
+		if !errors.As(e, &bp) {
+			return fmt.Errorf("get returned %v, want BrokenPromiseError", e)
+		}
+		var pe *PanicError
+		if !errors.As(bp.Cause, &pe) {
+			return fmt.Errorf("cause = %v, want PanicError", bp.Cause)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("run error %v does not contain the panic", err)
+	}
+}
+
+func TestOmittedSetMultiplePromises(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		a := NewPromiseNamed[int](tk, "a")
+		b := NewPromiseNamed[int](tk, "b")
+		c := NewPromiseNamed[int](tk, "c")
+		if _, e := tk.AsyncNamed("leaky", func(ch *Task) error {
+			return b.Set(ch, 1) // fulfils b, leaks a and c
+		}, a, b, c); e != nil {
+			return e
+		}
+		if _, e := b.Get(tk); e != nil {
+			return e
+		}
+		if _, e := a.Get(tk); e == nil {
+			return errors.New("a delivered a value")
+		}
+		if _, e := c.Get(tk); e == nil {
+			return errors.New("c delivered a value")
+		}
+		return nil
+	})
+	var om *OmittedSetError
+	if !errors.As(err, &om) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(om.Promises) != 2 {
+		t.Fatalf("leaked %d promises, want 2", len(om.Promises))
+	}
+}
+
+func TestOwnedCounterDetectsButCannotBlame(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership), WithOwnedTracking(TrackCounter))
+	errCh := make(chan error, 1)
+	err := rt.Run(func(tk *Task) error {
+		s := NewPromiseNamed[int](tk, "s")
+		if _, e := tk.AsyncNamed("t4", func(c *Task) error { return nil }, s); e != nil {
+			return e
+		}
+		// No cascade is possible under TrackCounter, so do not block on s.
+		go func() { _, e := s.Get(tk); errCh <- e }()
+		return nil
+	})
+	var om *OmittedSetError
+	if !errors.As(err, &om) {
+		t.Fatalf("counter mode missed the omitted set: %v", err)
+	}
+	if om.Count != 1 || om.Promises != nil {
+		t.Fatalf("counter report = count %d promises %v", om.Count, om.Promises)
+	}
+	select {
+	case e := <-errCh:
+		t.Fatalf("consumer unblocked (%v); counter mode cannot cascade", e)
+	default:
+	}
+}
+
+func TestOwnedCounterCleanRunNoReport(t *testing.T) {
+	rt := NewRuntime(WithMode(Full), WithOwnedTracking(TrackCounter))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 50; i++ {
+			p := NewPromise[int](tk)
+			if _, e := tk.Async(func(c *Task) error { return p.Set(c, i) }, p); e != nil {
+				return e
+			}
+			if _, e := p.Get(tk); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnedPromisesDiagnostic(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		a := NewPromiseNamed[int](tk, "a")
+		b := NewPromiseNamed[int](tk, "b")
+		if n := len(tk.OwnedPromises()); n != 2 {
+			return fmt.Errorf("owned %d, want 2", n)
+		}
+		a.MustSet(tk, 1)
+		if n := len(tk.OwnedPromises()); n != 1 {
+			return fmt.Errorf("owned %d after set, want 1", n)
+		}
+		b.MustSet(tk, 1)
+		if n := len(tk.OwnedPromises()); n != 0 {
+			return fmt.Errorf("owned %d after both sets, want 0", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegationChain(t *testing.T) {
+	// Ownership hops through three generations before fulfilment.
+	rt := NewRuntime(WithMode(Full))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "relay")
+		if _, e := tk.AsyncNamed("gen1", func(c1 *Task) error {
+			if _, e := c1.AsyncNamed("gen2", func(c2 *Task) error {
+				if _, e := c2.AsyncNamed("gen3", func(c3 *Task) error {
+					return p.Set(c3, 123)
+				}, p); e != nil {
+					return e
+				}
+				return nil
+			}, p); e != nil {
+				return e
+			}
+			return nil
+		}, p); e != nil {
+			return e
+		}
+		v, e := p.Get(tk)
+		if e != nil {
+			return e
+		}
+		if v != 123 {
+			return fmt.Errorf("v = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureLikePattern(t *testing.T) {
+	// The paper's note: new p; async(p){ ...; set p } reproduces a future.
+	rt := NewRuntime(WithMode(Full))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		if _, e := tk.Async(func(c *Task) error {
+			return p.Set(c, 6*7)
+		}, p); e != nil {
+			return e
+		}
+		if v := p.MustGet(tk); v != 42 {
+			return fmt.Errorf("future value %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupMovesAllMembers(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		a := NewPromise[int](tk)
+		b := NewPromise[int](tk)
+		g := Group{a, b}
+		if n := len(g.Promises()); n != 2 {
+			return fmt.Errorf("group has %d promises", n)
+		}
+		if _, e := tk.Async(func(c *Task) error {
+			if a.Owner() != c || b.Owner() != c {
+				return errors.New("group members not transferred")
+			}
+			a.MustSet(c, 1)
+			b.MustSet(c, 2)
+			return nil
+		}, g); e != nil {
+			return e
+		}
+		if a.MustGet(tk)+b.MustGet(tk) != 3 {
+			return errors.New("bad values")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	rt := NewRuntime(WithMode(Ownership))
+	err := run(t, rt, func(tk *Task) error {
+		a := NewPromise[int](tk)
+		b := NewPromise[string](tk)
+		c := NewPromise[int](tk)
+		all := Flatten(a, Group{b, c})
+		if len(all) != 3 {
+			return fmt.Errorf("flatten = %d promises", len(all))
+		}
+		if Flatten() != nil {
+			return errors.New("empty flatten not nil")
+		}
+		a.MustSet(tk, 0)
+		b.MustSet(tk, "")
+		c.MustSet(tk, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

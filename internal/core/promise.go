@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// pstate is the type-erased core of a promise: everything the ownership
+// policy and the deadlock detector need, independent of the payload type.
+// The detector traverses *pstate values, so promises of different payload
+// types participate in the same dependence chains.
+type pstate struct {
+	id    uint64
+	label string
+
+	// owner is the task currently responsible for fulfilling this promise,
+	// nil once fulfilled (and always nil in Unverified mode). Writes are
+	// confined to the current owner (creation, transfer before spawn, set),
+	// which is the paper's Lemma 4.4: owner fields are free of write-write
+	// races by construction.
+	owner atomic.Pointer[Task]
+
+	// completed claims the unique right to fulfil the promise; it catches
+	// double sets in every mode, including Unverified.
+	completed atomic.Bool
+
+	// err is the exceptional payload; written (if at all) before done is
+	// closed, so every reader that has observed done sees it.
+	err error
+
+	// done is closed exactly once, when the promise is fulfilled either
+	// normally or exceptionally.
+	done chan struct{}
+
+	// ownedIdx is the promise's slot in its owner's owned list under
+	// TrackList (exact removal). Like the list itself it is confined to
+	// the owning task (with the parent-to-child hand-off at spawn), so it
+	// needs no synchronization. -1 when not in any list.
+	ownedIdx int
+}
+
+func (s *pstate) fulfilled() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// completeError fulfils the promise exceptionally on behalf of the runtime
+// (omitted-set cascade). It reports whether this call won the completion.
+func (s *pstate) completeError(err error) bool {
+	if !s.completed.CompareAndSwap(false, true) {
+		return false
+	}
+	s.owner.Store(nil)
+	s.err = err
+	close(s.done)
+	return true
+}
+
+// AnyPromise is the payload-independent view of a promise. Every
+// *Promise[T] implements it; the Movable interface and all diagnostics
+// (omitted-set blame, deadlock cycles, snapshots) are expressed in terms
+// of AnyPromise.
+type AnyPromise interface {
+	// ID returns the promise's unique identifier within its runtime.
+	ID() uint64
+	// Label returns the diagnostic name given at creation.
+	Label() string
+	// Owner returns the task currently responsible for fulfilling the
+	// promise, or nil if it has been fulfilled (or the runtime is
+	// Unverified, in which case ownership is not tracked).
+	Owner() *Task
+	// Fulfilled reports whether the promise has been set.
+	Fulfilled() bool
+
+	state() *pstate
+}
+
+// Promise is a write-once, many-reader synchronization cell carrying a
+// payload of type T. Get blocks until the first and only Set. Under the
+// Ownership and Full runtime modes the promise is owned by exactly one
+// task at a time and the ownership policy of the paper is enforced.
+type Promise[T any] struct {
+	s     pstate
+	value T
+}
+
+// NewPromise allocates a promise owned by task t (rule 1 of the policy).
+func NewPromise[T any](t *Task) *Promise[T] {
+	return NewPromiseNamed[T](t, "")
+}
+
+// NewPromiseNamed allocates a promise owned by task t with a diagnostic
+// label used in error messages and snapshots.
+func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
+	r := t.rt
+	p := &Promise[T]{}
+	p.s.id = r.nextPromise.Add(1)
+	if label == "" {
+		label = fmt.Sprintf("promise-%d", p.s.id)
+	}
+	p.s.label = label
+	p.s.done = make(chan struct{})
+	if r.mode >= Ownership {
+		p.s.owner.Store(t)
+		t.noteOwned(p)
+	}
+	if r.trace != nil {
+		r.trace.addPromise(p)
+	}
+	if r.events != nil {
+		r.logEvent(EvNewPromise, t, &p.s, "")
+	}
+	return p
+}
+
+// ID returns the promise's unique identifier within its runtime.
+func (p *Promise[T]) ID() uint64 { return p.s.id }
+
+// Label returns the diagnostic name given at creation.
+func (p *Promise[T]) Label() string { return p.s.label }
+
+// Owner returns the task currently responsible for fulfilling the promise,
+// or nil if fulfilled or untracked.
+func (p *Promise[T]) Owner() *Task { return p.s.owner.Load() }
+
+// Fulfilled reports whether the promise has been set.
+func (p *Promise[T]) Fulfilled() bool { return p.s.fulfilled() }
+
+// Done returns a channel closed when the promise is fulfilled. It is an
+// observation hook (for select loops in tests); it does not establish a
+// waits-for edge and is not checked by the deadlock detector.
+func (p *Promise[T]) Done() <-chan struct{} { return p.s.done }
+
+func (p *Promise[T]) state() *pstate { return &p.s }
+
+// Promises makes a single promise Movable, so it can be passed directly to
+// Task.Async.
+func (p *Promise[T]) Promises() []AnyPromise { return []AnyPromise{p} }
+
+// awaitState is the policy-checked blocking wait shared by Get and Await:
+// fast path, deadlock verification, idle-watch accounting, block. On a nil
+// return the promise is fulfilled (normally or exceptionally — the caller
+// reads s.err).
+func awaitState(t *Task, s *pstate) error {
+	r := t.rt
+	if r.countEvents {
+		r.gets.Add(1)
+	}
+	// Fast path: already fulfilled. No waits-for edge is needed because no
+	// blocking occurs.
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	if r.idle != nil {
+		r.idle.enterBlocked()
+		defer r.idle.exitBlocked()
+	}
+	if r.events != nil {
+		r.logEvent(EvBlock, t, s, "")
+	}
+	if r.mode == Full {
+		if r.detector == DetectGlobalLock {
+			if err := r.gdet.beforeWait(t, s); err != nil {
+				r.alarm(err)
+				return err
+			}
+			<-s.done
+			r.gdet.afterWait(t)
+			if r.events != nil {
+				r.logEvent(EvWake, t, s, "")
+			}
+			return nil
+		}
+		// Algorithm 2: publish the waits-for edge, then verify the
+		// dependence chain before committing to block.
+		if err := t.verifyAwait(s); err != nil {
+			r.alarm(err)
+			return err
+		}
+		<-s.done
+		// Requirement 3 (§5.1): the reset of waitingOn becomes visible only
+		// after the fulfilment of p is visible; receiving on done orders
+		// this store after the fulfilment.
+		t.waitingOn.Store(nil)
+		if r.events != nil {
+			r.logEvent(EvWake, t, s, "")
+		}
+		return nil
+	}
+	<-s.done
+	if r.events != nil {
+		r.logEvent(EvWake, t, s, "")
+	}
+	return nil
+}
+
+// Await blocks task t until p is fulfilled, with exactly the policy and
+// deadlock checking of Get, but without reading the payload. It is the
+// type-erased wait used by data-driven tasks (collections.AsyncAwait) and
+// by code that synchronizes on promises of heterogeneous types. The error
+// is non-nil if the wait would deadlock or the promise completed
+// exceptionally.
+func Await(t *Task, p AnyPromise) error {
+	s := p.state()
+	if err := awaitState(t, s); err != nil {
+		return err
+	}
+	return s.err
+}
+
+// Get blocks task t until the promise is fulfilled and returns the payload.
+// It returns a non-nil error if the promise was completed exceptionally
+// (BrokenPromiseError from an omitted-set cascade, or a user SetError), or
+// if, in Full mode, this wait would complete a deadlock cycle — in which
+// case a DeadlockError naming the whole cycle is returned immediately and
+// the task does not block.
+func (p *Promise[T]) Get(t *Task) (T, error) {
+	if err := awaitState(t, &p.s); err != nil {
+		var zero T
+		return zero, err
+	}
+	return p.value, p.s.err
+}
+
+// GetTimeout is Get bounded by a deadline: if the promise is not fulfilled
+// within d, it returns ErrAwaitTimeout without a payload (the task stops
+// waiting). This is the timeout heuristic of §1 — provided as a
+// comparator, NOT as detection: a timeout may fire when there is no
+// deadlock (a false alarm), and the tests demonstrate exactly that
+// imprecision against the detector's alarm-iff-deadlock guarantee.
+//
+// GetTimeout does not run Algorithm 2 and leaves no waits-for edge, so
+// cycles formed purely of timed waits are never reported as deadlocks —
+// they simply time out.
+func (p *Promise[T]) GetTimeout(t *Task, d time.Duration) (T, error) {
+	r := t.rt
+	if r.countEvents {
+		r.gets.Add(1)
+	}
+	var zero T
+	select {
+	case <-p.s.done:
+		return p.value, p.s.err
+	default:
+	}
+	if r.idle != nil {
+		r.idle.enterBlocked()
+		defer r.idle.exitBlocked()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-p.s.done:
+		return p.value, p.s.err
+	case <-timer.C:
+		return zero, ErrAwaitTimeout
+	}
+}
+
+// MustGet is Get for contexts where an error is a programming bug; it
+// panics on error. The panic is recovered by the task wrapper and reported
+// through the runtime.
+func (p *Promise[T]) MustGet(t *Task) T {
+	v, err := p.Get(t)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryGet returns the payload if the promise is already fulfilled, without
+// blocking and without establishing a waits-for edge.
+func (p *Promise[T]) TryGet() (T, bool) {
+	select {
+	case <-p.s.done:
+		return p.value, p.s.err == nil
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Set fulfils the promise with value v (rule 4: only the current owner may
+// set, and only once). On success the promise has no owner afterwards.
+func (p *Promise[T]) Set(t *Task, v T) error {
+	if err := p.beginSet(t); err != nil {
+		return err
+	}
+	p.value = v
+	close(p.s.done)
+	if r := t.rt; r.events != nil {
+		r.logEvent(EvSet, t, &p.s, "")
+	}
+	return nil
+}
+
+// SetError completes the promise exceptionally: every Get returns err. The
+// ownership rules are identical to Set. This is the promise-level
+// mechanism (completeExceptionally in Java, set_exception in C++) that the
+// omitted-set cascade also uses.
+func (p *Promise[T]) SetError(t *Task, err error) error {
+	if err == nil {
+		err = fmt.Errorf("core: promise %s completed exceptionally", p.s.label)
+	}
+	if e := p.beginSet(t); e != nil {
+		return e
+	}
+	p.s.err = err
+	close(p.s.done)
+	if r := t.rt; r.events != nil {
+		r.logEvent(EvSetError, t, &p.s, err.Error())
+	}
+	return nil
+}
+
+// MustSet is Set for contexts where an error is a programming bug; it
+// panics on error.
+func (p *Promise[T]) MustSet(t *Task, v T) {
+	if err := p.Set(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// beginSet performs the policy checks shared by Set and SetError and
+// claims the completion. On return with nil error the caller must complete
+// the promise (write payload, close done).
+func (p *Promise[T]) beginSet(t *Task) error {
+	r := t.rt
+	if r.countEvents {
+		r.sets.Add(1)
+	}
+	s := &p.s
+	if r.mode >= Ownership {
+		owner := s.owner.Load()
+		if owner != t {
+			var err error
+			if owner == nil && s.completed.Load() {
+				err = &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+			} else {
+				err = ownershipError("set", t, p, owner)
+			}
+			r.alarm(err)
+			return err
+		}
+		if !s.completed.CompareAndSwap(false, true) {
+			err := &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+			r.alarm(err)
+			return err
+		}
+		// Rule 4: the fulfilled promise has no owner. The owner field is
+		// cleared before the payload becomes visible; a concurrent verifier
+		// that reads nil here simply commits to a wait that will end
+		// momentarily.
+		s.owner.Store(nil)
+		t.noteDischarged(p)
+		if r.trace != nil {
+			r.trace.removePromise(s.id)
+		}
+		return nil
+	}
+	if !s.completed.CompareAndSwap(false, true) {
+		err := &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+		r.alarm(err)
+		return err
+	}
+	if r.trace != nil {
+		r.trace.removePromise(s.id)
+	}
+	return nil
+}
+
+func ownershipError(op string, t *Task, p AnyPromise, owner *Task) *OwnershipError {
+	e := &OwnershipError{
+		Op:           op,
+		TaskID:       t.id,
+		TaskName:     t.name,
+		PromiseID:    p.ID(),
+		PromiseLabel: p.Label(),
+	}
+	if owner != nil {
+		e.OwnerID = owner.id
+		e.OwnerName = owner.name
+	}
+	return e
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled lets tests scale stress sizes down under the race detector.
+const raceEnabled = false

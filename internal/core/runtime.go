@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how much of the paper's machinery is active.
+type Mode uint8
+
+const (
+	// Unverified is the paper's baseline: plain promises with no ownership
+	// tracking and no deadlock detection. Double sets are still errors.
+	Unverified Mode = iota
+	// Ownership enforces the ownership policy (Algorithm 1): omitted sets
+	// are detected with blame, but deadlock cycles are not.
+	Ownership
+	// Full enforces the ownership policy and runs the deadlock detector
+	// (Algorithms 1 and 2): cycles are detected the moment they form.
+	Full
+)
+
+// String returns the mode name used in benchmark output.
+func (m Mode) String() string {
+	switch m {
+	case Unverified:
+		return "unverified"
+	case Ownership:
+		return "ownership"
+	case Full:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectorKind selects the deadlock-detection algorithm used in Full mode.
+type DetectorKind uint8
+
+const (
+	// DetectLockFree is the paper's Algorithm 2: no locks, no fences in
+	// the traversal loop, precise under weak memory.
+	DetectLockFree DetectorKind = iota
+	// DetectGlobalLock is an ablation comparator in the style of global
+	// waits-for-graph tools (e.g. Armus): a single mutex serializes every
+	// blocking wait while the graph is checked. Used to quantify what the
+	// lock-free design buys.
+	DetectGlobalLock
+)
+
+// OwnedTracking selects the representation of a task's owned set (§6.2).
+type OwnedTracking uint8
+
+const (
+	// TrackList keeps the actual list of owned promises with exact O(1)
+	// removal (each promise remembers its slot, so discharge at set or
+	// move is a swap-delete). Omitted-set reports name the promises and
+	// the exceptional-completion cascade can unblock their consumers.
+	// This is the default: unlike the lazy variant it never pins
+	// fulfilled promises, so long-lived tasks (e.g. channel senders) do
+	// not leak their whole history to the garbage collector.
+	TrackList OwnedTracking = iota
+	// TrackListLazy is the paper's literal speed-favoring choice (§6.2):
+	// nothing is ever removed from the list; membership at termination is
+	// decided by re-checking owner == t. It reproduces the paper's
+	// SmithWaterman memory signature (the root's list retains an entry
+	// per promise ever allocated) — and, as a cautionary ablation, makes
+	// channel-heavy workloads like Sieve pin every link they ever sent.
+	TrackListLazy
+	// TrackCounter keeps only a count: smallest footprint, but omitted-set
+	// reports carry no blame beyond the task and no cascade is possible.
+	TrackCounter
+)
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithMode selects the verification mode (default Full).
+func WithMode(m Mode) Option { return func(r *Runtime) { r.mode = m } }
+
+// WithDetector selects the deadlock detector used in Full mode
+// (default DetectLockFree).
+func WithDetector(k DetectorKind) Option { return func(r *Runtime) { r.detector = k } }
+
+// WithOwnedTracking selects the owned-set representation (default TrackList).
+func WithOwnedTracking(k OwnedTracking) Option { return func(r *Runtime) { r.tracking = k } }
+
+// WithEventCounting enables get/set counters, used by the benchmark
+// harness to reproduce the Gets/ms and Sets/ms columns of Table 1. Off by
+// default so the hot path of timed runs pays nothing.
+func WithEventCounting(on bool) Option { return func(r *Runtime) { r.countEvents = on } }
+
+// WithAlarmHandler installs a callback invoked synchronously at the moment
+// a policy violation or deadlock is detected, before the error propagates.
+func WithAlarmHandler(f func(error)) Option { return func(r *Runtime) { r.onAlarm = f } }
+
+// WithExecutor replaces the task executor. The default starts one
+// goroutine per task, which is the unbounded-growth execution strategy the
+// paper requires (there is no a-priori bound on simultaneously blocked
+// tasks). See the sched package for an elastic pool alternative.
+func WithExecutor(exec func(func())) Option { return func(r *Runtime) { r.exec = exec } }
+
+// WithIdleWatch installs the whole-program quiescence detector the paper
+// contrasts with in §1 (the Go runtime's strategy): onQuiescent fires when
+// every live task is blocked on a promise, receiving the number of blocked
+// tasks. A single runnable bystander task silences it — which is exactly
+// the blind spot the per-wait detector does not have; see the comparator
+// tests. Adds two counter updates per blocking wait.
+func WithIdleWatch(onQuiescent func(liveTasks int)) Option {
+	return func(r *Runtime) { r.idle = newIdleWatch(onQuiescent) }
+}
+
+// WithTracing enables the live task/promise registry used by Snapshot and
+// DOT export. It takes a global lock on creation/termination paths, so it
+// is a debugging aid, not for benchmarking.
+func WithTracing(on bool) Option {
+	return func(r *Runtime) {
+		if on {
+			r.trace = newTraceRegistry()
+		} else {
+			r.trace = nil
+		}
+	}
+}
+
+// Stats are cumulative event counts for a runtime.
+type Stats struct {
+	Tasks int64 // tasks spawned (always counted)
+	Gets  int64 // Get operations (only with WithEventCounting)
+	Sets  int64 // Set/SetError operations (only with WithEventCounting)
+}
+
+// Runtime owns a family of tasks and promises and enforces the configured
+// policy across them. A Runtime is typically used for one program run:
+// create, Run, inspect errors.
+type Runtime struct {
+	mode        Mode
+	detector    DetectorKind
+	tracking    OwnedTracking
+	countEvents bool
+	onAlarm     func(error)
+	exec        func(func())
+	trace       *traceRegistry
+	gdet        *globalDetector
+	idle        *idleWatch
+	events      *eventLog
+
+	wg sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+
+	nextTask    atomic.Uint64
+	nextPromise atomic.Uint64
+	tasks       atomic.Int64
+	gets        atomic.Int64
+	sets        atomic.Int64
+}
+
+// NewRuntime creates a runtime. The default configuration is the paper's
+// evaluated one: Full mode, lock-free detector, owned lists, goroutine per
+// task, no event counting.
+func NewRuntime(opts ...Option) *Runtime {
+	r := &Runtime{
+		mode:     Full,
+		detector: DetectLockFree,
+		tracking: TrackList,
+		exec:     func(f func()) { go f() },
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.mode == Full && r.detector == DetectGlobalLock {
+		r.gdet = newGlobalDetector()
+	}
+	return r
+}
+
+// Mode returns the runtime's verification mode.
+func (r *Runtime) Mode() Mode { return r.mode }
+
+// Detector returns the configured detector kind.
+func (r *Runtime) Detector() DetectorKind { return r.detector }
+
+// Tracking returns the configured owned-set representation.
+func (r *Runtime) Tracking() OwnedTracking { return r.tracking }
+
+// Stats returns the cumulative event counters.
+func (r *Runtime) Stats() Stats {
+	return Stats{Tasks: r.tasks.Load(), Gets: r.gets.Load(), Sets: r.sets.Load()}
+}
+
+// Run executes main as the root task and blocks until every task spawned
+// (transitively) has terminated. It returns the joined errors of all
+// failed tasks, or nil if the program completed cleanly.
+//
+// Run corresponds to the paper's Init procedure followed by program
+// completion. Note that under Unverified and Ownership modes a deadlocked
+// program never terminates and Run never returns; use RunWithTimeout to
+// demonstrate that behaviour safely.
+func (r *Runtime) Run(main TaskFunc) error {
+	root := r.newTask("main", nil)
+	r.startTask(root, main)
+	r.wg.Wait()
+	return r.Err()
+}
+
+// RunWithTimeout is Run with a deadline. If the program does not finish in
+// time it returns an error wrapping ErrTimeout together with any errors
+// recorded so far. The hung tasks' goroutines are abandoned (they cannot
+// be killed); this is intended for demonstrations and tests of programs
+// that hang under the weaker modes.
+func (r *Runtime) RunWithTimeout(d time.Duration, main TaskFunc) error {
+	done := make(chan error, 1)
+	go func() { done <- r.Run(main) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return joinErrs(ErrTimeout, r.Err())
+	}
+}
+
+// Errors returns a copy of every error recorded by terminated tasks so far.
+func (r *Runtime) Errors() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]error, len(r.errs))
+	copy(out, r.errs)
+	return out
+}
+
+// Err returns the recorded errors joined, or nil if none.
+func (r *Runtime) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return errors.Join(r.errs...)
+}
+
+func (r *Runtime) record(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+}
+
+func (r *Runtime) alarm(err error) {
+	if r.events != nil {
+		r.logEvent(EvAlarm, nil, nil, err.Error())
+	}
+	if r.onAlarm != nil {
+		r.onAlarm(err)
+	}
+}
+
+func joinErrs(a, b error) error {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return errors.Join(a, b)
+	}
+}

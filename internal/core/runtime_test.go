@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunReturnsNilOnCleanProgram(t *testing.T) {
+	rt := NewRuntime()
+	if err := run(t, rt, func(tk *Task) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollectsTaskErrors(t *testing.T) {
+	rt := NewRuntime()
+	sentinel := errors.New("boom")
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 3; i++ {
+			if _, e := tk.Async(func(c *Task) error { return sentinel }); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := len(rt.Errors()); n != 3 {
+		t.Fatalf("recorded %d errors, want 3", n)
+	}
+}
+
+func TestRunWaitsForAllDescendants(t *testing.T) {
+	rt := NewRuntime()
+	var leaves atomic.Int32
+	err := run(t, rt, func(tk *Task) error {
+		var spawn func(t *Task, depth int) error
+		spawn = func(t *Task, depth int) error {
+			if depth == 0 {
+				time.Sleep(time.Millisecond)
+				leaves.Add(1)
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if _, e := t.Async(func(c *Task) error { return spawn(c, depth-1) }); e != nil {
+					return e
+				}
+			}
+			return nil
+		}
+		return spawn(tk, 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves.Load() != 32 {
+		t.Fatalf("leaves = %d, want 32 (Run returned before descendants finished)", leaves.Load())
+	}
+}
+
+func TestTaskCountStat(t *testing.T) {
+	rt := NewRuntime()
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 9; i++ {
+			if _, e := tk.Async(func(c *Task) error { return nil }); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Stats().Tasks; got != 10 { // 9 + root
+		t.Fatalf("tasks = %d, want 10", got)
+	}
+}
+
+func TestEventCounting(t *testing.T) {
+	rt := NewRuntime(WithEventCounting(true))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 5; i++ {
+			p := NewPromise[int](tk)
+			p.MustSet(tk, i)
+			p.MustGet(tk)
+			p.MustGet(tk)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Sets != 5 || st.Gets != 10 {
+		t.Fatalf("stats = %+v, want 5 sets / 10 gets", st)
+	}
+}
+
+func TestEventCountingOffByDefault(t *testing.T) {
+	rt := NewRuntime()
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		p.MustSet(tk, 1)
+		p.MustGet(tk)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Gets != 0 || st.Sets != 0 {
+		t.Fatalf("counters ran while disabled: %+v", st)
+	}
+}
+
+func TestAlarmHandlerFiresBeforePropagation(t *testing.T) {
+	var fired atomic.Bool
+	rt := NewRuntime(WithAlarmHandler(func(err error) { fired.Store(true) }))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		_, e := p.Get(tk) // self-deadlock
+		if !fired.Load() {
+			return errors.New("alarm handler had not fired when Get returned")
+		}
+		if e == nil {
+			return errors.New("no deadlock error")
+		}
+		return p.Set(tk, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTimeoutCompletesNormally(t *testing.T) {
+	rt := NewRuntime()
+	err := rt.RunWithTimeout(5*time.Second, func(tk *Task) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTimeoutReportsHang(t *testing.T) {
+	rt := NewRuntime(WithMode(Unverified))
+	err := rt.RunWithTimeout(100*time.Millisecond, func(tk *Task) error {
+		p := NewPromise[int](tk)
+		_, e := p.Get(tk) // nobody will ever set this
+		return e
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWithExecutor(t *testing.T) {
+	var dispatched atomic.Int32
+	rt := NewRuntime(WithExecutor(func(f func()) {
+		dispatched.Add(1)
+		go f()
+	}))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 4; i++ {
+			if _, e := tk.Async(func(c *Task) error { return nil }); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dispatched.Load() != 5 {
+		t.Fatalf("executor dispatched %d tasks, want 5", dispatched.Load())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{Unverified: "unverified", Ownership: "ownership", Full: "full", Mode(9): "unknown"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestTaskIdentity(t *testing.T) {
+	rt := NewRuntime()
+	err := run(t, rt, func(tk *Task) error {
+		if tk.Name() != "main" || tk.Parent() != nil {
+			return fmt.Errorf("root = %q parent %v", tk.Name(), tk.Parent())
+		}
+		child, e := tk.AsyncNamed("worker", func(c *Task) error {
+			if c.Name() != "worker" {
+				return fmt.Errorf("name %q", c.Name())
+			}
+			if c.Parent() == nil || c.Parent().Name() != "main" {
+				return errors.New("bad parent")
+			}
+			if c.Runtime() != rt {
+				return errors.New("bad runtime")
+			}
+			return nil
+		})
+		if e != nil {
+			return e
+		}
+		return child.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskWaitReturnsError(t *testing.T) {
+	rt := NewRuntime()
+	sentinel := errors.New("child failed")
+	err := run(t, rt, func(tk *Task) error {
+		c, e := tk.Async(func(c *Task) error { return sentinel })
+		if e != nil {
+			return e
+		}
+		if w := c.Wait(); !errors.Is(w, sentinel) {
+			return fmt.Errorf("wait = %v", w)
+		}
+		return nil // swallow: the runtime still records it
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("runtime did not record child error: %v", err)
+	}
+}
+
+func TestSnapshotDisabledByDefault(t *testing.T) {
+	rt := NewRuntime()
+	if rt.Snapshot() != nil || rt.DOT() != "" {
+		t.Fatal("snapshot available without tracing")
+	}
+}
+
+func TestSnapshotAndDOT(t *testing.T) {
+	rt := NewRuntime(WithTracing(true))
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		<-holding
+		snap := rt.Snapshot()
+		var found bool
+		for _, n := range snap {
+			if n.TaskName == "main" {
+				for _, lbl := range n.Owned {
+					if lbl == "held" {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Error("snapshot missing owned promise 'held'")
+		}
+		dot := rt.DOT()
+		if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "held") {
+			t.Errorf("bad DOT output: %s", dot)
+		}
+		close(release)
+	}()
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "held")
+		close(holding)
+		<-release
+		return p.Set(tk, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Snapshot()) != 0 {
+		t.Fatal("snapshot not empty after completion")
+	}
+}
+
+func TestSnapshotShowsWaitingEdge(t *testing.T) {
+	rt := NewRuntime(WithTracing(true))
+	waitStarted := make(chan struct{})
+	checked := make(chan struct{})
+	go func() {
+		<-waitStarted
+		// Give the getter a moment to publish its edge and block.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, n := range rt.Snapshot() {
+				if n.TaskName == "waiter" && n.WaitingLabel == "gate" {
+					close(checked)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Error("waits-for edge never appeared in snapshot")
+		close(checked)
+	}()
+	err := run(t, rt, func(tk *Task) error {
+		gate := NewPromiseNamed[int](tk, "gate")
+		if _, e := tk.AsyncNamed("waiter", func(c *Task) error {
+			close(waitStarted)
+			_, e := gate.Get(c)
+			return e
+		}); e != nil {
+			return e
+		}
+		<-checked
+		return gate.Set(tk, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorStringsAreDescriptive(t *testing.T) {
+	oe := &OwnershipError{Op: "set", TaskName: "t1", PromiseLabel: "p", OwnerID: 2, OwnerName: "t2"}
+	if !strings.Contains(oe.Error(), "t1") || !strings.Contains(oe.Error(), "t2") {
+		t.Fatalf("ownership error: %s", oe)
+	}
+	oe2 := &OwnershipError{Op: "move", TaskName: "t1", PromiseLabel: "p"}
+	if !strings.Contains(oe2.Error(), "fulfilled") {
+		t.Fatalf("fulfilled owner not described: %s", oe2)
+	}
+	ds := &DoubleSetError{TaskName: "t", PromiseLabel: "p"}
+	if !strings.Contains(ds.Error(), "already fulfilled") {
+		t.Fatalf("double set: %s", ds)
+	}
+	om := &OmittedSetError{TaskName: "t4", Count: 2}
+	if !strings.Contains(om.Error(), "t4") || !strings.Contains(om.Error(), "2") {
+		t.Fatalf("omitted set (counter): %s", om)
+	}
+	pe := &PanicError{TaskName: "w", Value: "bang"}
+	if !strings.Contains(pe.Error(), "bang") {
+		t.Fatalf("panic: %s", pe)
+	}
+	bp := &BrokenPromiseError{PromiseLabel: "s", TaskName: "t4", Cause: errors.New("x")}
+	if !strings.Contains(bp.Error(), "s") || bp.Unwrap() == nil {
+		t.Fatalf("broken promise: %s", bp)
+	}
+}

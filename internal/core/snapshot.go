@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// traceRegistry tracks live tasks and unfulfilled promises when tracing is
+// enabled (WithTracing). It exists for Snapshot/DOT debugging output only.
+type traceRegistry struct {
+	mu    sync.Mutex
+	tasks map[uint64]*Task
+	proms map[uint64]AnyPromise
+}
+
+func newTraceRegistry() *traceRegistry {
+	return &traceRegistry{tasks: make(map[uint64]*Task), proms: make(map[uint64]AnyPromise)}
+}
+
+func (tr *traceRegistry) addTask(t *Task) {
+	tr.mu.Lock()
+	tr.tasks[t.id] = t
+	tr.mu.Unlock()
+}
+
+func (tr *traceRegistry) removeTask(id uint64) {
+	tr.mu.Lock()
+	delete(tr.tasks, id)
+	tr.mu.Unlock()
+}
+
+func (tr *traceRegistry) addPromise(p AnyPromise) {
+	tr.mu.Lock()
+	tr.proms[p.ID()] = p
+	tr.mu.Unlock()
+}
+
+func (tr *traceRegistry) removePromise(id uint64) {
+	tr.mu.Lock()
+	delete(tr.proms, id)
+	tr.mu.Unlock()
+}
+
+// SnapshotNode describes one live task in a Snapshot.
+type SnapshotNode struct {
+	TaskID       uint64
+	TaskName     string
+	WaitingOnID  uint64 // 0 if not blocked
+	WaitingLabel string
+	Owned        []string // labels of currently owned, unfulfilled promises
+}
+
+// Snapshot returns the live ownership / waits-for graph. It requires
+// WithTracing(true); otherwise it returns nil. The snapshot is advisory:
+// it is taken without stopping the world, so it may be internally
+// inconsistent for promises in motion — use it for debugging, not proofs.
+func (r *Runtime) Snapshot() []SnapshotNode {
+	if r.trace == nil {
+		return nil
+	}
+	r.trace.mu.Lock()
+	tasks := make([]*Task, 0, len(r.trace.tasks))
+	for _, t := range r.trace.tasks {
+		tasks = append(tasks, t)
+	}
+	proms := make([]AnyPromise, 0, len(r.trace.proms))
+	for _, p := range r.trace.proms {
+		proms = append(proms, p)
+	}
+	r.trace.mu.Unlock()
+
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].id < tasks[j].id })
+	ownedBy := make(map[uint64][]string)
+	for _, p := range proms {
+		if o := p.Owner(); o != nil {
+			ownedBy[o.id] = append(ownedBy[o.id], p.Label())
+		}
+	}
+	out := make([]SnapshotNode, 0, len(tasks))
+	for _, t := range tasks {
+		n := SnapshotNode{TaskID: t.id, TaskName: t.name}
+		if w := t.waitingOn.Load(); w != nil {
+			n.WaitingOnID = w.id
+			n.WaitingLabel = w.label
+		}
+		n.Owned = ownedBy[t.id]
+		sort.Strings(n.Owned)
+		out = append(out, n)
+	}
+	return out
+}
+
+// DOT renders the Snapshot as a Graphviz digraph: solid edges are
+// waits-for (task -> promise), dashed edges are ownership
+// (promise -> task). Returns "" when tracing is disabled.
+func (r *Runtime) DOT() string {
+	nodes := r.Snapshot()
+	if nodes == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("digraph promises {\n  rankdir=LR;\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", n.TaskName)
+		if n.WaitingOnID != 0 {
+			fmt.Fprintf(&b, "  %q [shape=ellipse];\n  %q -> %q;\n", n.WaitingLabel, n.TaskName, n.WaitingLabel)
+		}
+		for _, lbl := range n.Owned {
+			fmt.Fprintf(&b, "  %q [shape=ellipse];\n  %q -> %q [style=dashed];\n", lbl, lbl, n.TaskName)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestSnapshotCleansUpInUnverifiedMode: fulfilled promises must leave the
+// trace registry even when ownership is not tracked.
+func TestSnapshotCleansUpInUnverifiedMode(t *testing.T) {
+	rt := NewRuntime(WithMode(Unverified), WithTracing(true))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 10; i++ {
+			p := NewPromise[int](tk)
+			if e := p.Set(tk, i); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rt.Snapshot() {
+		if len(n.Owned) != 0 {
+			t.Fatalf("registry retains promises after fulfilment: %+v", n)
+		}
+	}
+	rt.trace.mu.Lock()
+	live := len(rt.trace.proms)
+	rt.trace.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d promises still registered after completion", live)
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// TaskFunc is the body of a task. It receives the task's own handle, which
+// stands in for the paper's thread-local currentTask: every promise
+// operation names the task performing it. Returning a non-nil error (or
+// panicking) fails the task; the runtime then reports the error and
+// completes any promises the task still owned exceptionally.
+type TaskFunc func(t *Task) error
+
+// Task is one asynchronous task. Tasks are created by Runtime.Run (the
+// root task) and Task.Async. A task owns a set of promises it is
+// responsible for fulfilling; ownership moves only at spawn.
+type Task struct {
+	rt     *Runtime
+	id     uint64
+	name   string
+	parent *Task
+
+	// waitingOn is the promise this task is currently blocked on inside
+	// Get, nil otherwise. It is the second half of the dependence edges
+	// Algorithm 2 traverses.
+	waitingOn atomic.Pointer[pstate]
+
+	// owned is the inverse ownership map owner^-1(t) under TrackList.
+	// It is manipulated only by this task's own goroutine, except that the
+	// parent seeds it before the task starts (a happens-before edge via
+	// goroutine creation), so no locking is required. Removal is lazy, as
+	// in the paper's implementation: membership at termination is decided
+	// by re-checking owner == t.
+	owned []AnyPromise
+
+	// ownedCount is the footprint-saving alternative under TrackCounter.
+	ownedCount int
+
+	done chan struct{}
+	err  error
+}
+
+// ID returns the task's unique identifier within its runtime.
+func (t *Task) ID() uint64 { return t.id }
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Parent returns the task that spawned this one, or nil for the root task.
+func (t *Task) Parent() *Task { return t.parent }
+
+// Runtime returns the runtime this task belongs to.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// Wait blocks until the task has terminated and returns its error, if any.
+// Wait is a testing/debugging convenience outside the paper's L_p model:
+// it is NOT policy-checked and NOT visible to the deadlock detector. Code
+// that wants detector-visible joins should await a promise the task sets
+// (see collections.Future and collections.Finish).
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// OwnedPromises returns the promises this task currently owns. Like the
+// rest of the owned list it is only meaningful from the task's own
+// goroutine (or after the task terminated); it exists for diagnostics and
+// tests. Result order is creation/transfer order.
+func (t *Task) OwnedPromises() []AnyPromise {
+	var out []AnyPromise
+	for _, ap := range t.owned {
+		if ap.state().owner.Load() == t {
+			out = append(out, ap)
+		}
+	}
+	return out
+}
+
+func (t *Task) noteOwned(p AnyPromise) {
+	switch t.rt.tracking {
+	case TrackList:
+		s := p.state()
+		s.ownedIdx = len(t.owned)
+		t.owned = append(t.owned, p)
+	case TrackListLazy:
+		t.owned = append(t.owned, p)
+	case TrackCounter:
+		t.ownedCount++
+	}
+}
+
+// noteDischarged records that t no longer owes p (it was set, or moved to
+// a child). Under TrackList the entry is swap-deleted in O(1) via the
+// promise's back-index, so fulfilled promises are not pinned; under
+// TrackListLazy nothing is removed (the paper's §6.2 choice); under
+// TrackCounter only the count drops.
+func (t *Task) noteDischarged(p AnyPromise) {
+	switch t.rt.tracking {
+	case TrackList:
+		s := p.state()
+		i := s.ownedIdx
+		last := len(t.owned) - 1
+		if i < 0 || i > last || t.owned[i] != p {
+			return // defensive: never corrupt the list
+		}
+		t.owned[i] = t.owned[last]
+		t.owned[i].state().ownedIdx = i
+		t.owned[last] = nil
+		t.owned = t.owned[:last]
+		s.ownedIdx = -1
+	case TrackListLazy:
+		// Lazy: rely on owner != t at termination.
+	case TrackCounter:
+		t.ownedCount--
+	}
+}
+
+// Async spawns a child task running f, moving the promises of each Movable
+// argument from t to the child (rule 2). The parent must currently own
+// every moved promise; otherwise an OwnershipError is returned and the
+// child is not started. The transfer is complete before the child becomes
+// eligible to run, which is the happens-before edge Definition 4.1
+// requires.
+func (t *Task) Async(f TaskFunc, moved ...Movable) (*Task, error) {
+	return t.async("", f, moved)
+}
+
+// AsyncNamed is Async with a diagnostic name for the child task.
+func (t *Task) AsyncNamed(name string, f TaskFunc, moved ...Movable) (*Task, error) {
+	return t.async(name, f, moved)
+}
+
+// MustAsync is Async for contexts where an error is a programming bug; it
+// panics on error.
+func (t *Task) MustAsync(f TaskFunc, moved ...Movable) *Task {
+	child, err := t.async("", f, moved)
+	if err != nil {
+		panic(err)
+	}
+	return child
+}
+
+func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
+	r := t.rt
+	states := Flatten(moved...)
+	child := r.newTask(name, t)
+	if r.mode >= Ownership {
+		for _, ap := range states {
+			if owner := ap.state().owner.Load(); owner != t {
+				err := ownershipError("move", t, ap, owner)
+				r.alarm(err)
+				return nil, err
+			}
+		}
+		for _, ap := range states {
+			s := ap.state()
+			if s.owner.Load() == child {
+				// The same promise listed twice in one spawn (directly or
+				// through overlapping collections): transfer it once.
+				continue
+			}
+			s.owner.Store(child)
+			t.noteDischarged(ap)
+			child.noteOwned(ap)
+			if r.events != nil {
+				r.logEvent(EvMove, t, s, "to "+child.name)
+			}
+		}
+	}
+	r.startTask(child, f)
+	return child, nil
+}
+
+// outstanding returns the promises the task still owns at termination
+// (rule 3 check). Under TrackCounter it returns nil and the count.
+func (t *Task) outstanding() ([]AnyPromise, int) {
+	switch t.rt.tracking {
+	case TrackCounter:
+		return nil, t.ownedCount
+	default:
+		var leaked []AnyPromise
+		for _, ap := range t.owned {
+			if ap.state().owner.Load() == t {
+				leaked = append(leaked, ap)
+			}
+		}
+		return leaked, len(leaked)
+	}
+}
+
+func invokeTask(f TaskFunc, t *Task) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{TaskID: t.id, TaskName: t.name, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return f(t)
+}
+
+func (r *Runtime) newTask(name string, parent *Task) *Task {
+	id := r.nextTask.Add(1)
+	if name == "" {
+		name = fmt.Sprintf("task-%d", id)
+	}
+	t := &Task{rt: r, id: id, name: name, parent: parent, done: make(chan struct{})}
+	if r.trace != nil {
+		r.trace.addTask(t)
+	}
+	return t
+}
+
+func (r *Runtime) startTask(t *Task, f TaskFunc) {
+	r.wg.Add(1)
+	r.tasks.Add(1)
+	if r.idle != nil {
+		r.idle.taskStarted()
+	}
+	if r.events != nil {
+		r.logEvent(EvTaskStart, t, nil, "")
+	}
+	r.exec(func() {
+		defer r.wg.Done()
+		if r.idle != nil {
+			defer r.idle.taskFinished()
+		}
+		err := invokeTask(f, t)
+		err = r.finishTask(t, err)
+		t.err = err
+		close(t.done)
+		if r.events != nil {
+			detail := ""
+			if err != nil {
+				detail = err.Error()
+			}
+			r.logEvent(EvTaskEnd, t, nil, detail)
+		}
+		if r.trace != nil {
+			r.trace.removeTask(t.id)
+		}
+		if err != nil {
+			r.record(err)
+		}
+	})
+}
+
+// finishTask enforces rule 3: the terminating task must own no promises.
+// If it does, the omitted set is reported with blame and every leaked
+// promise is completed exceptionally so consumers unblock (§6.2).
+func (r *Runtime) finishTask(t *Task, err error) error {
+	if r.mode < Ownership {
+		return err
+	}
+	leaked, n := t.outstanding()
+	if n == 0 {
+		return err
+	}
+	om := &OmittedSetError{TaskID: t.id, TaskName: t.name, Promises: leaked, Count: n}
+	r.alarm(om)
+	cause := err
+	if cause == nil {
+		cause = om
+	}
+	for _, ap := range leaked {
+		s := ap.state()
+		s.completeError(&BrokenPromiseError{
+			PromiseID:    s.id,
+			PromiseLabel: s.label,
+			TaskID:       t.id,
+			TaskName:     t.name,
+			Cause:        cause,
+		})
+		if r.trace != nil {
+			r.trace.removePromise(s.id)
+		}
+	}
+	return joinErrs(err, om)
+}

@@ -1,0 +1,113 @@
+// Package harness measures the benchmarks and regenerates the paper's
+// Table 1 and Figure 1: per-benchmark baseline time and memory, overhead
+// factors of the verified runs, task totals, get/set rates, geometric mean
+// overheads, and mean execution times with 95% confidence intervals.
+//
+// The protocol follows the paper (§6.3): each measurement is averaged over
+// R in-process repetitions after W discarded warm-ups (the standard
+// methodology for managed runtimes, which also washes out Go's lazy
+// allocations and scheduler warm-up), and memory usage is the average of
+// heap samples taken every 10 ms during a separate run.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tCritical returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom, via a standard table with interpolation to the
+// normal limit.
+func tCritical(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	table := []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	switch {
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// of xs (0 for fewer than two values).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical(n-1) * Stddev(xs) / math.Sqrt(float64(n))
+}
+
+// Geomean returns the geometric mean of xs; all values must be positive.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logs float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logs += math.Log(x)
+	}
+	return math.Exp(logs / float64(len(xs)))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// fmtOverhead renders an overhead factor the way Table 1 does ("1.12x").
+func fmtOverhead(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,87 @@
+// Package sched provides task executors for the promise runtime.
+//
+// The paper's execution strategy (§6.3) spawns a new thread whenever all
+// existing threads are in use, because promise-blocked tasks have no
+// a-priori bound: a fixed-size pool can starve and self-deadlock. In Go
+// the default executor — one goroutine per task — has exactly the required
+// unbounded-growth semantics, with the runtime multiplexing goroutines
+// onto OS threads.
+//
+// Elastic is an alternative that mirrors the paper's pool more literally:
+// it reuses idle workers when one is available and grows by one goroutine
+// when none is, so the steady-state worker count tracks the peak number of
+// simultaneously live tasks rather than the total task count. The
+// benchmark suite compares the two (spawn cost vs reuse).
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Executor runs task bodies. Implementations must never block Execute on
+// the completion of f and must never bound the number of concurrently
+// blocked fs (see the package comment).
+type Executor interface {
+	Execute(f func())
+}
+
+// GoPerTask returns the default executor: one goroutine per task.
+func GoPerTask() Executor { return goPerTask{} }
+
+type goPerTask struct{}
+
+func (goPerTask) Execute(f func()) { go f() }
+
+// Elastic is a grow-on-demand worker pool. Execute hands the function to
+// an idle worker if one is parked, otherwise starts a new worker. Workers
+// park for IdleTimeout waiting for more work before exiting, bounding the
+// idle population over time.
+type Elastic struct {
+	jobs        chan func()
+	idleTimeout time.Duration
+
+	spawned atomic.Int64
+	reused  atomic.Int64
+}
+
+// NewElastic creates an elastic pool. idleTimeout controls how long an
+// idle worker waits for new work before exiting; zero selects a default
+// of 50ms.
+func NewElastic(idleTimeout time.Duration) *Elastic {
+	if idleTimeout <= 0 {
+		idleTimeout = 50 * time.Millisecond
+	}
+	return &Elastic{jobs: make(chan func()), idleTimeout: idleTimeout}
+}
+
+// Execute schedules f on an idle worker, growing the pool if none is
+// available. It never blocks waiting for a worker.
+func (e *Elastic) Execute(f func()) {
+	select {
+	case e.jobs <- f:
+		e.reused.Add(1)
+	default:
+		e.spawned.Add(1)
+		go e.worker(f)
+	}
+}
+
+func (e *Elastic) worker(f func()) {
+	for {
+		f()
+		timer := time.NewTimer(e.idleTimeout)
+		select {
+		case f = <-e.jobs:
+			timer.Stop()
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// Stats reports how many workers were spawned and how many task
+// submissions were satisfied by reusing an idle worker.
+func (e *Elastic) Stats() (spawned, reused int64) {
+	return e.spawned.Load(), e.reused.Load()
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGoPerTaskRunsEverything(t *testing.T) {
+	ex := GoPerTask()
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		ex.Execute(func() { n.Add(1); wg.Done() })
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d", n.Load())
+	}
+}
+
+func TestElasticRunsEverything(t *testing.T) {
+	ex := NewElastic(10 * time.Millisecond)
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		wg.Add(1)
+		ex.Execute(func() { n.Add(1); wg.Done() })
+	}
+	wg.Wait()
+	if n.Load() != 500 {
+		t.Fatalf("ran %d", n.Load())
+	}
+}
+
+func TestElasticReusesIdleWorkers(t *testing.T) {
+	ex := NewElastic(time.Second)
+	var wg sync.WaitGroup
+	// Sequential submissions: after the first, a parked worker should pick
+	// most of them up.
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		ex.Execute(func() { wg.Done() })
+		wg.Wait()
+	}
+	spawned, reused := ex.Stats()
+	if spawned+reused != 50 {
+		t.Fatalf("accounting: spawned %d + reused %d != 50", spawned, reused)
+	}
+	if reused == 0 {
+		t.Fatal("no worker reuse in a sequential workload")
+	}
+}
+
+func TestElasticGrowsUnderBlockedLoad(t *testing.T) {
+	// All outstanding tasks block simultaneously; the pool must grow to
+	// accommodate them rather than deadlock (the §6.3 requirement).
+	ex := NewElastic(10 * time.Millisecond)
+	const n = 64
+	gate := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(n)
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		ex.Execute(func() {
+			entered.Done()
+			<-gate // every task blocks until all have started
+			done.Done()
+		})
+	}
+	ok := make(chan struct{})
+	go func() { entered.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool failed to grow: tasks starved")
+	}
+	close(gate)
+	done.Wait()
+	spawned, _ := ex.Stats()
+	if spawned < n {
+		t.Fatalf("spawned %d workers for %d simultaneously blocked tasks", spawned, n)
+	}
+}
+
+func TestElasticWorkersExitAfterIdle(t *testing.T) {
+	ex := NewElastic(5 * time.Millisecond)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ex.Execute(func() { wg.Done() })
+	wg.Wait()
+	time.Sleep(50 * time.Millisecond) // worker should have parked and exited
+	// The next Execute must spawn a fresh worker (the old one is gone), and
+	// still run the job.
+	before, _ := ex.Stats()
+	wg.Add(1)
+	ex.Execute(func() { wg.Done() })
+	wg.Wait()
+	after, _ := ex.Stats()
+	if after != before+1 {
+		t.Fatalf("expected a fresh spawn after idle exit (before=%d after=%d)", before, after)
+	}
+}

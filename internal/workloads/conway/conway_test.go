@@ -1,0 +1,126 @@
+package conway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestParallelMatchesSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg)
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("checksum %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+func TestWorkerCountVariations(t *testing.T) {
+	base := Small()
+	want := RunSequential(base)
+	for _, workers := range []int{1, 2, 3, 7} {
+		cfg := base
+		cfg.Workers = workers
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		var got uint64
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			got, err = Run(tk, cfg)
+			return err
+		})
+		if got != want {
+			t.Fatalf("workers=%d: checksum %x, want %x", workers, got, want)
+		}
+	}
+}
+
+func TestUnevenBands(t *testing.T) {
+	// Height not divisible by workers: the last band absorbs the remainder.
+	cfg := Config{Width: 40, Height: 37, Workers: 5, Generations: 8, Seed: 3}
+	want := RunSequential(cfg)
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	if got != want {
+		t.Fatalf("checksum %x, want %x", got, want)
+	}
+}
+
+func TestBlinkerOscillates(t *testing.T) {
+	// Sanity-check the kernel itself with the classic blinker: period 2.
+	mk := func() []row {
+		b := make([]row, 5)
+		for y := range b {
+			b[y] = make(row, 5)
+		}
+		b[2][1], b[2][2], b[2][3] = 1, 1, 1
+		return b
+	}
+	board := mk()
+	next := make([]row, 5)
+	for y := range next {
+		next[y] = make(row, 5)
+	}
+	zero := make(row, 5)
+	for g := 0; g < 2; g++ {
+		band := append([]row{zero}, board...)
+		band = append(band, zero)
+		step(band, 5, next)
+		board, next = next, board
+		// re-zero next rows for reuse
+		for i := range next {
+			for j := range next[i] {
+				next[i][j] = 0
+			}
+		}
+	}
+	want := mk()
+	for y := range want {
+		for x := range want[y] {
+			if board[y][x] != want[y][x] {
+				t.Fatalf("blinker broken at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		if _, err := Run(tk, Config{Width: 10, Height: 2, Workers: 5, Generations: 1}); err == nil {
+			t.Error("undersized grid accepted")
+		}
+		return nil
+	})
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Small()
+	var sums [2]uint64
+	for i := range sums {
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			sums[i], err = Run(tk, cfg)
+			return err
+		})
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("nondeterministic: %x vs %x", sums[0], sums[1])
+	}
+}

@@ -1,0 +1,97 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestParallelMatchesSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg)
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("checksum %x, want %x (float paths diverged)", got, want)
+			}
+		})
+	}
+}
+
+func TestTaskCountVariations(t *testing.T) {
+	for _, tasks := range []int{1, 2, 5, 10} {
+		cfg := Config{CellsPerTask: 60, Tasks: tasks, Iterations: 40}
+		// The reference depends on total size only; recompute per shape.
+		want := RunSequential(cfg)
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		var got uint64
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			got, err = Run(tk, cfg)
+			return err
+		})
+		if got != want {
+			t.Fatalf("tasks=%d: %x != %x", tasks, got, want)
+		}
+	}
+}
+
+func TestDiffusionConservesNothingButConverges(t *testing.T) {
+	// Physical sanity: with zero boundaries, total heat decays
+	// monotonically toward zero; after many iterations the peak must have
+	// dropped.
+	total := 200
+	cells := make([]float64, total)
+	for i := range cells {
+		cells[i] = initialCell(i, total)
+	}
+	peak0 := 0.0
+	for _, v := range cells {
+		peak0 = math.Max(peak0, v)
+	}
+	next := make([]float64, total)
+	for it := 0; it < 500; it++ {
+		ghost := make([]float64, total+2)
+		copy(ghost[1:], cells)
+		diffuse(ghost, next)
+		cells, next = next, cells
+	}
+	peak := 0.0
+	for _, v := range cells {
+		peak = math.Max(peak, v)
+		if v < -1e-9 {
+			t.Fatalf("negative temperature %g", v)
+		}
+	}
+	if peak >= peak0 {
+		t.Fatalf("diffusion did not dissipate: %g -> %g", peak0, peak)
+	}
+}
+
+func TestInitialConditionDeterministic(t *testing.T) {
+	if initialCell(10, 100) != initialCell(10, 100) {
+		t.Fatal("nondeterministic initial condition")
+	}
+	if initialCell(0, 100) != 0 {
+		t.Fatalf("boundary cell not zero: %g", initialCell(0, 100))
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		if _, err := Run(tk, Config{Tasks: 0}); err == nil {
+			t.Error("zero tasks accepted")
+		}
+		return nil
+	})
+}

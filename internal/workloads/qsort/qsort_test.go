@@ -1,0 +1,127 @@
+package qsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestParallelMatchesSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg)
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("checksum %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+func TestThresholdVariations(t *testing.T) {
+	base := Config{N: 5000, Seed: 2, Threshold: 0}
+	want := RunSequential(base)
+	for _, th := range []int{2, 16, 100, 5000, 10000} {
+		cfg := base
+		cfg.Threshold = th
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		var got uint64
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			got, err = Run(tk, cfg)
+			return err
+		})
+		if got != want {
+			t.Fatalf("threshold=%d: %x != %x", th, got, want)
+		}
+	}
+}
+
+func TestTinyThresholdRejected(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		if _, err := Run(tk, Config{N: 10, Seed: 1, Threshold: 1}); err == nil {
+			t.Error("threshold 1 accepted")
+		}
+		return nil
+	})
+}
+
+func TestSeqSortKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000)
+		a := make([]int32, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(100)) // many duplicates
+		}
+		want := append([]int32(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		seqSort(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSeqSortAdversarialInputs(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{1},
+		{2, 1},
+		{1, 1, 1, 1, 1},
+		{5, 4, 3, 2, 1},
+		{1, 2, 3, 4, 5},
+	}
+	// Long sorted and reverse-sorted arrays stress the median-of-three.
+	asc := make([]int32, 10000)
+	desc := make([]int32, 10000)
+	for i := range asc {
+		asc[i] = int32(i)
+		desc[i] = int32(len(desc) - i)
+	}
+	cases = append(cases, asc, desc)
+	for ci, a := range cases {
+		want := append([]int32(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := append([]int32(nil), a...)
+		seqSort(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: mismatch at %d", ci, i)
+			}
+		}
+	}
+}
+
+func TestTaskExplosionSmallThreshold(t *testing.T) {
+	// A small threshold produces a deep spawn tree through the finish
+	// scope, approximating the paper's 786k-task configuration in
+	// miniature; the runtime must track every join.
+	cfg := Config{N: 30_000, Seed: 1, Threshold: 8}
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	if got != RunSequential(cfg) {
+		t.Fatal("checksum mismatch")
+	}
+	if rt.Stats().Tasks < 1000 {
+		t.Fatalf("only %d tasks spawned; expected a task explosion", rt.Stats().Tasks)
+	}
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestRegistryHasTable1Order(t *testing.T) {
+	want := []string{"Conway", "Heat", "QSort", "Randomized", "Sieve",
+		"SmithWaterman", "Strassen", "StreamCluster", "StreamCluster2"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d entries, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Fatalf("entry %d = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Sieve"); !ok {
+		t.Fatal("Sieve missing")
+	}
+	if _, ok := ByName("NoSuch"); ok {
+		t.Fatal("phantom benchmark")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if ParseScale("small") != ScaleSmall || ParseScale("paper") != ScalePaper || ParseScale("anything") != ScaleDefault {
+		t.Fatal("scale parsing")
+	}
+}
+
+func TestAllSmallProgramsRunCleanVerified(t *testing.T) {
+	// Every registered benchmark must complete without alarms at small
+	// scale under the Full verifier — the end-to-end sanity the whole
+	// Table-1 pipeline depends on.
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			prog := e.Prog(ScaleSmall)
+			rt := core.NewRuntime(core.WithMode(core.Full))
+			testutil.MustSucceed(t, rt, prog())
+		})
+	}
+}
+
+func TestProgramsAreReusable(t *testing.T) {
+	e, _ := ByName("Heat")
+	prog := e.Prog(ScaleSmall)
+	for i := 0; i < 3; i++ {
+		rt := core.NewRuntime(core.WithMode(core.Unverified))
+		testutil.MustSucceed(t, rt, prog())
+	}
+}

@@ -1,0 +1,106 @@
+package sieve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestCountsMatchSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg) // 303 primes below 2000
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("count = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestKnownPrimeCounts(t *testing.T) {
+	cases := map[int]uint64{2: 0, 3: 1, 10: 4, 100: 25, 1000: 168, 10000: 1229}
+	for n, want := range cases {
+		if got := RunSequential(Config{N: n}); got != want {
+			t.Fatalf("pi(%d) = %d, want %d", n, got, want)
+		}
+		if testutil.RaceEnabled && n > 1000 {
+			// The detector's chain traversal is O(pipeline length) per
+			// blocking get; race instrumentation makes the large instance
+			// minutes-slow on small machines.
+			continue
+		}
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		var got uint64
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			got, err = Run(tk, Config{N: n})
+			return err
+		})
+		if got != want {
+			t.Fatalf("parallel pi(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		for _, n := range []int{0, 1, 2} {
+			got, err := Run(tk, Config{N: n})
+			if err != nil {
+				return err
+			}
+			if got != 0 {
+				t.Errorf("pi(%d) = %d, want 0", n, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPipelineTaskCount(t *testing.T) {
+	// One filter task per prime, plus the first filter and the root.
+	cfg := Config{N: 1000}
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		_, err := Run(tk, cfg)
+		return err
+	})
+	// 168 primes: the first filter consumes 2, each prime >2 spawns one
+	// more stage, plus a final stage that sees only the close.
+	tasks := rt.Stats().Tasks
+	if tasks < 168 || tasks > 172 {
+		t.Fatalf("pipeline used %d tasks, want ~170", tasks)
+	}
+}
+
+func TestLongChainsUnderFullDetection(t *testing.T) {
+	// The sieve's long blocked chains are the detector's worst case; make
+	// sure a bigger instance still completes correctly in Full mode.
+	if testing.Short() {
+		t.Skip("long chains")
+	}
+	cfg := Config{N: 10_000}
+	if testutil.RaceEnabled {
+		cfg.N = 3_000
+	}
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	if want := RunSequential(cfg); got != want {
+		t.Fatalf("count = %d", got)
+	}
+}

@@ -1,0 +1,138 @@
+package streamcluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestSC1MatchesSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg)
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("checksum %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+func TestSC2MatchesSC1(t *testing.T) {
+	// The all-to-one rewrite must not change the numerical result.
+	cfg := Small()
+	want := RunSequential(cfg)
+	cfg2 := cfg
+	cfg2.Variant2 = true
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg2)
+		return err
+	})
+	if got != want {
+		t.Fatalf("SC2 checksum %x, want %x", got, want)
+	}
+}
+
+func TestSC2UsesFewerPromiseOps(t *testing.T) {
+	cfg := Small()
+	count := func(variant2 bool) (gets int64) {
+		c := cfg
+		c.Variant2 = variant2
+		rt := core.NewRuntime(core.WithMode(core.Full), core.WithEventCounting(true))
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			_, err := Run(tk, c)
+			return err
+		})
+		return rt.Stats().Gets
+	}
+	g1, g2 := count(false), count(true)
+	if g2 >= g1 {
+		t.Fatalf("SC2 gets (%d) not fewer than SC1 gets (%d)", g2, g1)
+	}
+}
+
+func TestWorkerTaskCountMatchesPaperShape(t *testing.T) {
+	// Paper: 33 tasks = 8 workers x 4 chunks + root.
+	cfg := Config{Points: 1600, Dims: 4, Centers: 4, Workers: 8, Chunks: 4, Iters: 2, Seed: 1}
+	for _, v2 := range []bool{false, true} {
+		c := cfg
+		c.Variant2 = v2
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			_, err := Run(tk, c)
+			return err
+		})
+		if got := rt.Stats().Tasks; got != 33 {
+			t.Fatalf("variant2=%v: tasks = %d, want 33", v2, got)
+		}
+	}
+}
+
+func TestWorkerCountVariations(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5} {
+		cfg := Config{Points: 600, Dims: 6, Centers: 3, Workers: workers, Chunks: 2, Iters: 2, Seed: 2}
+		want := RunSequential(cfg)
+		rt := core.NewRuntime(core.WithMode(core.Full))
+		var got uint64
+		testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+			var err error
+			got, err = Run(tk, cfg)
+			return err
+		})
+		if got != want {
+			t.Fatalf("workers=%d: %x != %x", workers, got, want)
+		}
+	}
+}
+
+func TestNearestCenter(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-5, 3}}
+	cases := []struct {
+		pt   []float64
+		want int
+	}{
+		{[]float64{1, 1}, 0},
+		{[]float64{9, 9}, 1},
+		{[]float64{-4, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := nearest(c.pt, centers); got != c.want {
+			t.Fatalf("nearest(%v) = %d, want %d", c.pt, got, c.want)
+		}
+	}
+}
+
+func TestEmptyCenterKeepsPosition(t *testing.T) {
+	centers := [][]float64{{1, 1}, {100, 100}}
+	parts := []*partial{newPartial(2, 2)}
+	parts[0].counts[0] = 2
+	parts[0].sums[0] = []float64{4, 6}
+	updateCenters(centers, parts)
+	if centers[0][0] != 2 || centers[0][1] != 3 {
+		t.Fatalf("center 0 = %v", centers[0])
+	}
+	if centers[1][0] != 100 {
+		t.Fatalf("empty center moved: %v", centers[1])
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		if _, err := Run(tk, Config{Points: 2, Centers: 5, Workers: 1, Chunks: 1}); err == nil {
+			t.Error("fewer points than centers accepted")
+		}
+		return nil
+	})
+}
