@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/workloads"
 )
@@ -79,27 +80,36 @@ func BenchmarkFigure1(b *testing.B) {
 	}
 }
 
+// benchFixture runs one harness micro fixture as a testing.B benchmark.
+// The fixtures are shared with cmd/benchtable's MeasureMicros so the
+// go-test numbers and the BENCH_table1.json trajectory measure the same
+// operation.
+func benchFixture(b *testing.B, fixture func(*core.Task) (func(int) error, error), opts ...core.Option) {
+	b.Helper()
+	rt := core.NewRuntime(opts...)
+	if err := rt.Run(func(t *core.Task) error {
+		step, err := fixture(t)
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := step(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMicro_SetGet measures the latency of a fulfilled-promise
 // round-trip (set + fast-path get) per mode.
 func BenchmarkMicro_SetGet(b *testing.B) {
 	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
 		b.Run(mode.String(), func(b *testing.B) {
-			rt := core.NewRuntime(core.WithMode(mode))
-			if err := rt.Run(func(t *core.Task) error {
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					p := core.NewPromise[int](t)
-					if err := p.Set(t, i); err != nil {
-						return err
-					}
-					if _, err := p.Get(t); err != nil {
-						return err
-					}
-				}
-				return nil
-			}); err != nil {
-				b.Fatal(err)
-			}
+			benchFixture(b, harness.SetGetFixture, core.WithMode(mode))
 		})
 	}
 }
@@ -135,24 +145,7 @@ func BenchmarkMicro_BlockingGet(b *testing.B) {
 func BenchmarkMicro_Spawn(b *testing.B) {
 	for _, mode := range []core.Mode{core.Unverified, core.Full} {
 		b.Run(mode.String(), func(b *testing.B) {
-			rt := core.NewRuntime(core.WithMode(mode))
-			if err := rt.Run(func(t *core.Task) error {
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					p := core.NewPromise[struct{}](t)
-					if _, err := t.Async(func(c *core.Task) error {
-						return p.Set(c, struct{}{})
-					}, p); err != nil {
-						return err
-					}
-					if _, err := p.Get(t); err != nil {
-						return err
-					}
-				}
-				return nil
-			}); err != nil {
-				b.Fatal(err)
-			}
+			benchFixture(b, harness.SpawnFixture, core.WithMode(mode))
 		})
 	}
 }
@@ -244,4 +237,104 @@ func BenchmarkAblation_Executor(b *testing.B) {
 		benchProgram(b, "QSort", workloads.ScaleSmall,
 			core.WithMode(core.Full), core.WithExecutor(pool.Execute))
 	})
+}
+
+// BenchmarkMicro_FulfilledGet measures the read side of the fast path in
+// isolation: Get on an already-fulfilled promise, which after the packed
+// state word is a single atomic load (and provably 0 allocs/op — see
+// TestFastPathAllocs).
+func BenchmarkMicro_FulfilledGet(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.FulfilledGetFixture, core.WithMode(mode))
+		})
+	}
+}
+
+// BenchmarkMicro_SpawnNoMove measures the pure spawn-side cost of Async —
+// no promise, no ownership transfer, trivial body — i.e. a QSort-style
+// spawn storm stripped to the scheduler. The timed region covers only the
+// spawns; the children drain outside it when Run returns. The pooled
+// variants recycle Task objects through the runtime's sync.Pool.
+func BenchmarkMicro_SpawnNoMove(b *testing.B) {
+	for _, cfg := range []struct {
+		label string
+		opts  []core.Option
+	}{
+		{"unverified", []core.Option{core.WithMode(core.Unverified)}},
+		{"unverified-pooled", []core.Option{core.WithMode(core.Unverified), core.WithTaskPooling(true)}},
+		{"full", []core.Option{core.WithMode(core.Full)}},
+		{"full-pooled", []core.Option{core.WithMode(core.Full), core.WithTaskPooling(true)}},
+	} {
+		b.Run(cfg.label, func(b *testing.B) {
+			rt := core.NewRuntime(cfg.opts...)
+			if err := rt.Run(func(t *core.Task) error {
+				nop := func(*core.Task) error { return nil }
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := t.Async(nop); err != nil {
+						return err
+					}
+				}
+				b.StopTimer()
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_SpawnPooled is BenchmarkMicro_Spawn (spawn + move one
+// promise + join through it) with task pooling enabled; its join goes
+// through the promise, never the child handle, which is exactly the usage
+// WithTaskPooling requires.
+func BenchmarkMicro_SpawnPooled(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.SpawnFixture, core.WithMode(mode), core.WithTaskPooling(true))
+		})
+	}
+}
+
+// TestFastPathAllocs pins the allocation story of the lock-free fast
+// paths (DESIGN.md):
+//
+//   - Get on a fulfilled promise allocates nothing, in every mode.
+//   - A full NewPromise/Set/Get round-trip allocates exactly one object —
+//     the promise itself. No done channel (the wakeup gate is lazy), no
+//     label string (rendered on demand), nothing per-mode.
+func TestFastPathAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			if err := rt.Run(func(task *core.Task) error {
+				p := core.NewPromise[int](task)
+				if err := p.Set(task, 7); err != nil {
+					return err
+				}
+				if got := testing.AllocsPerRun(1000, func() {
+					if v, err := p.Get(task); err != nil || v != 7 {
+						t.Errorf("get: %v, %v", v, err)
+					}
+				}); got != 0 {
+					t.Errorf("fulfilled Get: %v allocs/op, want 0", got)
+				}
+				if got := testing.AllocsPerRun(1000, func() {
+					q := core.NewPromise[int](task)
+					if err := q.Set(task, 1); err != nil {
+						t.Errorf("set: %v", err)
+					}
+					if _, err := q.Get(task); err != nil {
+						t.Errorf("get: %v", err)
+					}
+				}); got > 1 {
+					t.Errorf("Set/Get round-trip: %v allocs/op, want <= 1 (the promise itself)", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }

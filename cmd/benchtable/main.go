@@ -6,15 +6,23 @@
 // Usage:
 //
 //	benchtable [-scale small|default|paper] [-reps N] [-warmups N]
-//	           [-bench name] [-csv] [-detector lockfree|globallock]
-//	           [-tracking list|counter]
+//	           [-bench name] [-csv] [-json out.json]
+//	           [-detector lockfree|globallock] [-tracking list|counter]
 //
 // -scale paper selects the paper's workload sizes and measurement protocol
 // (30 reps, 5 warm-ups); the default scale finishes in a few minutes on a
 // small container. -detector and -tracking select ablation verifiers.
+//
+// -json writes the Table-1 rows plus the fast-path microbenchmarks
+// (fulfilled-get / setget / spawn ns/op, B/op, allocs/op) as a JSON
+// report; the checked-in BENCH_table1.json is generated this way and
+// serves as the perf trajectory baseline for later PRs. If the output
+// file already exists, its micro section is carried forward under
+// "prev_micro" so regenerating the file keeps one step of history.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +34,45 @@ import (
 	"repro/internal/workloads"
 )
 
+// report is the BENCH_table1.json schema.
+type report struct {
+	GeneratedAt         string          `json:"generated_at"`
+	Scale               string          `json:"scale"`
+	Mode                string          `json:"mode"`
+	Detector            string          `json:"detector"`
+	Tracking            string          `json:"tracking"`
+	Reps                int             `json:"reps"`
+	Warmups             int             `json:"warmups"`
+	Rows                []harness.Row   `json:"rows"`
+	GeomeanTimeOverhead float64         `json:"geomean_time_overhead"`
+	GeomeanMemOverhead  float64         `json:"geomean_mem_overhead"`
+	Micro               []harness.Micro `json:"micro"`
+	// PrevMicro is the micro section of the file this run overwrote, if
+	// any — one step of fast-path history for at-a-glance regressions.
+	PrevMicro []harness.Micro `json:"prev_micro,omitempty"`
+}
+
+func writeJSON(path string, rep report) error {
+	if prev, err := os.ReadFile(path); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil {
+			rep.PrevMicro = old.Micro
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "default", "workload scale: small, default, paper")
 	reps := flag.Int("reps", 0, "timed repetitions (0 = protocol default)")
 	warmups := flag.Int("warmups", -1, "discarded warm-up runs (-1 = protocol default)")
 	benchFlag := flag.String("bench", "", "run only the named benchmark (comma-separated list)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	jsonOut := flag.String("json", "", "also write rows + fast-path micros as JSON to this file")
 	modeFlag := flag.String("mode", "full", "verified configuration: ownership (Algorithm 1 only), full (Algorithms 1+2)")
 	detector := flag.String("detector", "lockfree", "verified detector: lockfree, globallock")
 	tracking := flag.String("tracking", "list", "owned-set tracking: list, lazy, counter")
@@ -101,6 +142,33 @@ func main() {
 			os.Exit(1)
 		}
 		rows = append(rows, row)
+	}
+
+	if *jsonOut != "" {
+		fmt.Fprintf(os.Stderr, "[%s] measuring fast-path micros...\n", time.Now().Format("15:04:05"))
+		micros, err := harness.MeasureMicros([]core.Mode{core.Unverified, core.Ownership, core.Full})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+			os.Exit(1)
+		}
+		tOv, mOv := harness.Geomeans(rows)
+		rep := report{
+			GeneratedAt:         time.Now().UTC().Format(time.RFC3339),
+			Scale:               *scaleFlag,
+			Mode:                *modeFlag,
+			Detector:            *detector,
+			Tracking:            *tracking,
+			Reps:                opts.Reps,
+			Warmups:             opts.Warmups,
+			Rows:                rows,
+			GeomeanTimeOverhead: tOv,
+			GeomeanMemOverhead:  mOv,
+			Micro:               micros,
+		}
+		if err := writeJSON(*jsonOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 
 	if *csv {

@@ -119,13 +119,14 @@ func AnyOf[T any](t *core.Task, ps ...*core.Promise[T]) (*core.Promise[T], error
 }
 
 // waitFirstDone blocks until at least one promise is fulfilled and returns
-// its index. It starts one watcher goroutine per promise on the slow path.
+// its index. The first scan uses the lock-free fulfilment check, so when a
+// winner already exists no wakeup channels are materialized; only the slow
+// path (nothing fulfilled yet) pays for Done channels and one watcher
+// goroutine per promise.
 func waitFirstDone[T any](ps []*core.Promise[T]) int {
 	for i, p := range ps {
-		select {
-		case <-p.Done():
+		if p.Fulfilled() {
 			return i
-		default:
 		}
 	}
 	winner := make(chan int, len(ps))

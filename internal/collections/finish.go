@@ -25,6 +25,11 @@ type Finish struct {
 // RunFinish executes body and then blocks until every task spawned via
 // the scope's Async has terminated. It returns the body's error joined
 // with any child failures (delivered through the completion promises).
+//
+// The drain prefers join promises that are already fulfilled (a bounded
+// scan over the pending list, each check one atomic load), so the
+// enclosing task blocks — and, in Full mode, runs Algorithm 2 — only for
+// children that are genuinely still running.
 func RunFinish(t *core.Task, body func(fs *Finish) error) error {
 	fs := &Finish{}
 	err := body(fs)
@@ -35,7 +40,17 @@ func RunFinish(t *core.Task, body func(fs *Finish) error) error {
 			fs.mu.Unlock()
 			break
 		}
-		p := fs.pending[n-1]
+		// Scan (newest first, bounded so huge scopes stay O(n) overall)
+		// for a child that has already finished; fall back to the newest.
+		idx := n - 1
+		for i, scanned := n-1, 0; i >= 0 && scanned < 64; i, scanned = i-1, scanned+1 {
+			if fs.pending[i].Fulfilled() {
+				idx = i
+				break
+			}
+		}
+		p := fs.pending[idx]
+		fs.pending[idx] = fs.pending[n-1]
 		fs.pending = fs.pending[:n-1]
 		fs.mu.Unlock()
 		if _, e := p.Get(t); e != nil {

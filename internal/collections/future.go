@@ -56,6 +56,11 @@ func GoNamed[T any](t *core.Task, name string, f func(*core.Task) (T, error), mo
 // Get awaits the future's value.
 func (f *Future[T]) Get(t *core.Task) (T, error) { return f.p.Get(t) }
 
+// TryGet returns the value if the producing task has already delivered it:
+// the promise fast path's single atomic load, with no blocking and no
+// waits-for edge. ok is false while the future is still in flight.
+func (f *Future[T]) TryGet() (v T, ok bool, err error) { return f.p.TryGetErr() }
+
 // MustGet is Get panicking on error.
 func (f *Future[T]) MustGet(t *core.Task) T { return f.p.MustGet(t) }
 

@@ -15,10 +15,16 @@ package core
 //   it. Again implied by Go atomics' seq-cst ordering.
 //
 //   Requirement 3 — the waitingOn reset after a successful wait must not
-//   become visible before the fulfilment. Get performs the reset only
-//   after receiving from the promise's done channel, which happens-after
-//   the close in Set, so the reset is ordered after the fulfilment for
-//   every observer.
+//   become visible before the fulfilment. Set publishes in two steps:
+//   the stateFulfilled store (the release making the payload visible),
+//   then the wake-gate signal. Get performs the reset only after the gate
+//   admits it, which happens in one of two ways — receiving on a channel
+//   the signal closed (reset happens-after close, which is after the
+//   fulfilled store), or loading the gate's closed sentinel installed by
+//   the signal's Swap (same ordering, via the atomics' total order). In
+//   both cases the reset is ordered after the fulfilment for every
+//   observer. TestRequirement3Ordering exercises this under the race
+//   detector.
 
 // verifyAwait publishes t0's intent to wait on p0 and traverses the
 // dependence chain of alternating owner / waitingOn edges. It returns nil
@@ -41,6 +47,7 @@ func (t0 *Task) verifyAwait(p0 *pstate) error {
 			// is being made; commit to the wait.
 			return nil
 		}
+		gen := ti.gen.Load()
 		pnext := ti.waitingOn.Load() // line 9
 		if pnext == nil {
 			// t_{i+1} is not blocked: progress is being made.
@@ -49,8 +56,14 @@ func (t0 *Task) verifyAwait(p0 *pstate) error {
 		// Line 11: double-read of the owner. If the owner of p_i changed
 		// between line 6/13 and here, the prefix of the chain is stale —
 		// the promise moved to a new task or was fulfilled, so progress is
-		// being made and the check can be abandoned safely.
-		if pi.owner.Load() != ti {
+		// being made and the check can be abandoned safely. The generation
+		// re-read closes the pointer-ABA hole WithTaskPooling opens: a
+		// recycled handle can legitimately own p_i again as a NEW task, and
+		// pointer equality alone would vouch for a waitingOn value read
+		// from the OLD incarnation. An unchanged generation proves ti was
+		// never recycled between the two reads, restoring the unpooled
+		// guarantee that pnext was really ti's edge while it owned p_i.
+		if pi.owner.Load() != ti || ti.gen.Load() != gen {
 			return nil
 		}
 		pi = pnext
@@ -69,14 +82,14 @@ func (t0 *Task) verifyAwait(p0 *pstate) error {
 // broke the cycle — the alarm itself remains valid per Theorem 5.1).
 func (t0 *Task) buildCycle(p0 *pstate) *DeadlockError {
 	const maxNodes = 1 << 20
-	cyc := []CycleNode{{TaskID: t0.id, TaskName: t0.name, PromiseID: p0.id, PromiseLabel: p0.label}}
+	cyc := []CycleNode{{TaskID: t0.id, TaskName: t0.displayName(), PromiseID: p0.id, PromiseLabel: p0.displayLabel()}}
 	t := p0.owner.Load()
 	for t != nil && t != t0 && len(cyc) < maxNodes {
 		p := t.waitingOn.Load()
 		if p == nil {
 			break
 		}
-		cyc = append(cyc, CycleNode{TaskID: t.id, TaskName: t.name, PromiseID: p.id, PromiseLabel: p.label})
+		cyc = append(cyc, CycleNode{TaskID: t.id, TaskName: t.displayName(), PromiseID: p.id, PromiseLabel: p.displayLabel()})
 		t = p.owner.Load()
 	}
 	return &DeadlockError{Cycle: cyc}

@@ -158,10 +158,10 @@ func (r *Runtime) EventLog() string {
 func (r *Runtime) logEvent(kind EventKind, t *Task, s *pstate, detail string) {
 	e := Event{Kind: kind, Detail: detail}
 	if t != nil {
-		e.TaskID, e.TaskName = t.id, t.name
+		e.TaskID, e.TaskName = t.id, t.displayName()
 	}
 	if s != nil {
-		e.PromiseID, e.PromiseLabel = s.id, s.label
+		e.PromiseID, e.PromiseLabel = s.id, s.displayLabel()
 	}
 	r.events.add(e)
 }

@@ -22,6 +22,12 @@ func newGlobalDetector() *globalDetector {
 // through it. It returns a DeadlockError if one exists, leaving t
 // unregistered in that case.
 func (g *globalDetector) beforeWait(t *Task, s *pstate) error {
+	// Re-check fulfilment before queueing on the global mutex: the promise
+	// may have been set between the caller's fast path and here, and a
+	// single atomic load is far cheaper than a contended lock acquisition.
+	if s.fulfilled() {
+		return nil
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.waiting[t] = s
@@ -54,14 +60,14 @@ func (g *globalDetector) afterWait(t *Task) {
 // caller holds the mutex, so the map is stable).
 func (t0 *Task) buildCycleLocked(p0 *pstate, g *globalDetector) *DeadlockError {
 	const maxNodes = 1 << 20
-	cyc := []CycleNode{{TaskID: t0.id, TaskName: t0.name, PromiseID: p0.id, PromiseLabel: p0.label}}
+	cyc := []CycleNode{{TaskID: t0.id, TaskName: t0.displayName(), PromiseID: p0.id, PromiseLabel: p0.displayLabel()}}
 	t := p0.owner.Load()
 	for t != nil && t != t0 && len(cyc) < maxNodes {
 		p, ok := g.waiting[t]
 		if !ok {
 			break
 		}
-		cyc = append(cyc, CycleNode{TaskID: t.id, TaskName: t.name, PromiseID: p.id, PromiseLabel: p.label})
+		cyc = append(cyc, CycleNode{TaskID: t.id, TaskName: t.displayName(), PromiseID: p.id, PromiseLabel: p.displayLabel()})
 		t = p.owner.Load()
 	}
 	return &DeadlockError{Cycle: cyc}

@@ -1,6 +1,6 @@
 package core
 
-import "sync"
+import "sync/atomic"
 
 // idleWatch implements the whole-program detection strategy the paper
 // contrasts with in §1: like the Go runtime's "all goroutines are asleep —
@@ -14,63 +14,55 @@ import "sync"
 // (its own channels, timers) counts as runnable, which matches the
 // conservative spirit of the runtime check (fewer false alarms, more
 // missed deadlocks).
+//
+// The live and blocked counters are packed into one atomic word (live in
+// the high 32 bits, blocked in the low 32), so the two updates every
+// blocking wait pays are wait-free adds rather than mutex sections — the
+// comparator no longer serializes the very waits it is watching. The
+// quiescence test (live != 0 && live == blocked) reads both halves of the
+// same add result, i.e. one consistent snapshot. fired latches a
+// quiescent episode so the callback runs once per episode; as in the
+// original mutex version, the callback itself runs outside any critical
+// section and may observe a state that has already moved on.
 type idleWatch struct {
-	mu          sync.Mutex
-	live        int
-	blocked     int
-	fired       bool
+	state       atomic.Uint64 // live<<32 | blocked
+	fired       atomic.Bool
 	onQuiescent func(liveTasks int)
 }
+
+const idleLiveUnit = uint64(1) << 32
 
 func newIdleWatch(onQuiescent func(int)) *idleWatch {
 	return &idleWatch{onQuiescent: onQuiescent}
 }
 
 func (w *idleWatch) taskStarted() {
-	w.mu.Lock()
-	w.live++
-	w.fired = false
-	w.mu.Unlock()
+	w.state.Add(idleLiveUnit)
+	w.fired.Store(false)
 }
 
 func (w *idleWatch) taskFinished() {
-	w.mu.Lock()
-	w.live--
-	cb := w.checkLocked()
-	w.mu.Unlock()
-	if cb != nil {
-		cb()
-	}
+	w.check(w.state.Add(^idleLiveUnit + 1)) // live--
 }
 
 func (w *idleWatch) enterBlocked() {
-	w.mu.Lock()
-	w.blocked++
-	cb := w.checkLocked()
-	w.mu.Unlock()
-	if cb != nil {
-		cb()
-	}
+	w.check(w.state.Add(1))
 }
 
 func (w *idleWatch) exitBlocked() {
-	w.mu.Lock()
-	w.blocked--
-	w.fired = false
-	w.mu.Unlock()
+	w.state.Add(^uint64(0)) // blocked--
+	w.fired.Store(false)
 }
 
-// checkLocked returns the callback to invoke (outside the lock) when the
-// program has just become quiescent: every live task blocked on a promise.
-func (w *idleWatch) checkLocked() func() {
-	if w.fired || w.live == 0 || w.blocked != w.live {
-		return nil
+// check fires the callback when the transition that produced snapshot s
+// made the program quiescent: every live task blocked on a promise.
+func (w *idleWatch) check(s uint64) {
+	live, blocked := s>>32, s&(idleLiveUnit-1)
+	if live == 0 || live != blocked {
+		return
 	}
-	w.fired = true
-	n := w.live
-	f := w.onQuiescent
-	if f == nil {
-		return nil
+	if w.onQuiescent == nil || !w.fired.CompareAndSwap(false, true) {
+		return
 	}
-	return func() { f(n) }
+	w.onQuiescent(int(live))
 }

@@ -6,13 +6,28 @@ import (
 	"time"
 )
 
+// Lifecycle values of pstate.state, the packed promise state word.
+const (
+	// stateEmpty: unfulfilled and unclaimed; Set may still win the CAS.
+	stateEmpty uint32 = iota
+	// stateClaimed: a setter won the claim CAS but the payload write is
+	// still in flight. Observers treat the promise as unfulfilled (exactly
+	// as they treated the window between the old completed.CompareAndSwap
+	// and close(done)).
+	stateClaimed
+	// stateFulfilled: the payload (value or err) is visible. The store of
+	// this value is the release that publishes the payload; any load that
+	// observes it is the matching acquire.
+	stateFulfilled
+)
+
 // pstate is the type-erased core of a promise: everything the ownership
 // policy and the deadlock detector need, independent of the payload type.
 // The detector traverses *pstate values, so promises of different payload
 // types participate in the same dependence chains.
 type pstate struct {
 	id    uint64
-	label string
+	label string // "" means "promise-<id>", rendered lazily by displayLabel
 
 	// owner is the task currently responsible for fulfilling this promise,
 	// nil once fulfilled (and always nil in Unverified mode). Writes are
@@ -21,17 +36,21 @@ type pstate struct {
 	// races by construction.
 	owner atomic.Pointer[Task]
 
-	// completed claims the unique right to fulfil the promise; it catches
-	// double sets in every mode, including Unverified.
-	completed atomic.Bool
+	// state is the packed lifecycle word. It absorbs the roles of the old
+	// `completed atomic.Bool` (stateEmpty -> stateClaimed claims the unique
+	// right to fulfil, catching double sets in every mode) and of the old
+	// select-on-done checks (state == stateFulfilled IS "fulfilled", as a
+	// single atomic load).
+	state atomic.Uint32
 
-	// err is the exceptional payload; written (if at all) before done is
-	// closed, so every reader that has observed done sees it.
+	// wake is the lazily-allocated wakeup channel. It exists only when a
+	// consumer actually had to block (or asked for Done); promises that are
+	// set before anyone waits never allocate it.
+	wake gate
+
+	// err is the exceptional payload; written (if at all) between claim
+	// and publish, so every reader that has observed stateFulfilled sees it.
 	err error
-
-	// done is closed exactly once, when the promise is fulfilled either
-	// normally or exceptionally.
-	done chan struct{}
 
 	// ownedIdx is the promise's slot in its owner's owned list under
 	// TrackList (exact removal). Like the list itself it is confined to
@@ -40,24 +59,40 @@ type pstate struct {
 	ownedIdx int
 }
 
-func (s *pstate) fulfilled() bool {
-	select {
-	case <-s.done:
-		return true
-	default:
-		return false
+func (s *pstate) fulfilled() bool { return s.state.Load() == stateFulfilled }
+
+// claim wins the unique right to fulfil the promise. Exactly one claim per
+// promise ever succeeds, in every mode.
+func (s *pstate) claim() bool { return s.state.CompareAndSwap(stateEmpty, stateClaimed) }
+
+// publish makes the payload visible and wakes blocked consumers. The state
+// store is the release fence of §5.1 Requirement 3: it is ordered after the
+// payload write (program order + atomic release) and before the wake
+// signal, so a consumer woken through either path observes the payload.
+func (s *pstate) publish() {
+	s.state.Store(stateFulfilled)
+	s.wake.signal()
+}
+
+// displayLabel renders the diagnostic name, defaulting to "promise-<id>".
+// The default is computed on demand so the promise fast path never pays a
+// fmt.Sprintf for a label nobody reads.
+func (s *pstate) displayLabel() string {
+	if s.label != "" {
+		return s.label
 	}
+	return fmt.Sprintf("promise-%d", s.id)
 }
 
 // completeError fulfils the promise exceptionally on behalf of the runtime
 // (omitted-set cascade). It reports whether this call won the completion.
 func (s *pstate) completeError(err error) bool {
-	if !s.completed.CompareAndSwap(false, true) {
+	if !s.claim() {
 		return false
 	}
 	s.owner.Store(nil)
 	s.err = err
-	close(s.done)
+	s.publish()
 	return true
 }
 
@@ -84,6 +119,10 @@ type AnyPromise interface {
 // payload of type T. Get blocks until the first and only Set. Under the
 // Ownership and Full runtime modes the promise is owned by exactly one
 // task at a time and the ownership policy of the paper is enforced.
+//
+// The uncontended lifecycle is allocation-free beyond the Promise object
+// itself: creation initializes plain fields, Set is one CAS and one store,
+// and a Get after fulfilment is a single atomic load.
 type Promise[T any] struct {
 	s     pstate
 	value T
@@ -95,16 +134,13 @@ func NewPromise[T any](t *Task) *Promise[T] {
 }
 
 // NewPromiseNamed allocates a promise owned by task t with a diagnostic
-// label used in error messages and snapshots.
+// label used in error messages and snapshots. The empty label selects the
+// default "promise-<id>", rendered lazily.
 func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
 	r := t.rt
 	p := &Promise[T]{}
 	p.s.id = r.nextPromise.Add(1)
-	if label == "" {
-		label = fmt.Sprintf("promise-%d", p.s.id)
-	}
 	p.s.label = label
-	p.s.done = make(chan struct{})
 	if r.mode >= Ownership {
 		p.s.owner.Store(t)
 		t.noteOwned(p)
@@ -122,19 +158,23 @@ func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
 func (p *Promise[T]) ID() uint64 { return p.s.id }
 
 // Label returns the diagnostic name given at creation.
-func (p *Promise[T]) Label() string { return p.s.label }
+func (p *Promise[T]) Label() string { return p.s.displayLabel() }
 
 // Owner returns the task currently responsible for fulfilling the promise,
 // or nil if fulfilled or untracked.
 func (p *Promise[T]) Owner() *Task { return p.s.owner.Load() }
 
-// Fulfilled reports whether the promise has been set.
+// Fulfilled reports whether the promise has been set. A single atomic load.
 func (p *Promise[T]) Fulfilled() bool { return p.s.fulfilled() }
 
 // Done returns a channel closed when the promise is fulfilled. It is an
 // observation hook (for select loops in tests); it does not establish a
 // waits-for edge and is not checked by the deadlock detector.
-func (p *Promise[T]) Done() <-chan struct{} { return p.s.done }
+//
+// Calling Done on an unfulfilled promise materializes the wakeup channel
+// that the fast paths avoid allocating; prefer Fulfilled or TryGet when a
+// non-blocking check is all that is needed.
+func (p *Promise[T]) Done() <-chan struct{} { return p.s.wake.wait() }
 
 func (p *Promise[T]) state() *pstate { return &p.s }
 
@@ -151,12 +191,11 @@ func awaitState(t *Task, s *pstate) error {
 	if r.countEvents {
 		r.gets.Add(1)
 	}
-	// Fast path: already fulfilled. No waits-for edge is needed because no
-	// blocking occurs.
-	select {
-	case <-s.done:
+	// Fast path: already fulfilled. One atomic load; observing
+	// stateFulfilled acquires the payload published by Set. No waits-for
+	// edge is needed because no blocking occurs.
+	if s.state.Load() == stateFulfilled {
 		return nil
-	default:
 	}
 	if r.idle != nil {
 		r.idle.enterBlocked()
@@ -171,7 +210,7 @@ func awaitState(t *Task, s *pstate) error {
 				r.alarm(err)
 				return err
 			}
-			<-s.done
+			<-s.wake.wait()
 			r.gdet.afterWait(t)
 			if r.events != nil {
 				r.logEvent(EvWake, t, s, "")
@@ -184,17 +223,20 @@ func awaitState(t *Task, s *pstate) error {
 			r.alarm(err)
 			return err
 		}
-		<-s.done
+		<-s.wake.wait()
 		// Requirement 3 (§5.1): the reset of waitingOn becomes visible only
-		// after the fulfilment of p is visible; receiving on done orders
-		// this store after the fulfilment.
+		// after the fulfilment of p is visible. Both wake paths order this
+		// store after publish: receiving on the installed channel
+		// happens-after its close, and observing the closed sentinel
+		// happens-after the Swap — each of which follows the
+		// stateFulfilled store in the setter's program order.
 		t.waitingOn.Store(nil)
 		if r.events != nil {
 			r.logEvent(EvWake, t, s, "")
 		}
 		return nil
 	}
-	<-s.done
+	<-s.wake.wait()
 	if r.events != nil {
 		r.logEvent(EvWake, t, s, "")
 	}
@@ -238,28 +280,37 @@ func (p *Promise[T]) Get(t *Task) (T, error) {
 //
 // GetTimeout does not run Algorithm 2 and leaves no waits-for edge, so
 // cycles formed purely of timed waits are never reported as deadlocks —
-// they simply time out.
+// they simply time out. Timed waits DO appear in the event log: a blocking
+// GetTimeout logs EvBlock, and EvWake with detail "timeout" if the
+// deadline fired first, so post-mortems see them alongside Get waits.
 func (p *Promise[T]) GetTimeout(t *Task, d time.Duration) (T, error) {
 	r := t.rt
 	if r.countEvents {
 		r.gets.Add(1)
 	}
 	var zero T
-	select {
-	case <-p.s.done:
+	if p.s.fulfilled() {
 		return p.value, p.s.err
-	default:
 	}
 	if r.idle != nil {
 		r.idle.enterBlocked()
 		defer r.idle.exitBlocked()
 	}
+	if r.events != nil {
+		r.logEvent(EvBlock, t, &p.s, "timed")
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
-	case <-p.s.done:
+	case <-p.s.wake.wait():
+		if r.events != nil {
+			r.logEvent(EvWake, t, &p.s, "")
+		}
 		return p.value, p.s.err
 	case <-timer.C:
+		if r.events != nil {
+			r.logEvent(EvWake, t, &p.s, "timeout")
+		}
 		return zero, ErrAwaitTimeout
 	}
 }
@@ -276,15 +327,25 @@ func (p *Promise[T]) MustGet(t *Task) T {
 }
 
 // TryGet returns the payload if the promise is already fulfilled, without
-// blocking and without establishing a waits-for edge.
+// blocking and without establishing a waits-for edge. A single atomic load.
 func (p *Promise[T]) TryGet() (T, bool) {
-	select {
-	case <-p.s.done:
+	if p.s.fulfilled() {
 		return p.value, p.s.err == nil
-	default:
-		var zero T
-		return zero, false
 	}
+	var zero T
+	return zero, false
+}
+
+// TryGetErr is TryGet distinguishing the two reasons TryGet reports false:
+// ok is true iff the promise is fulfilled (normally or exceptionally), and
+// err carries the exceptional completion when there is one. Like TryGet it
+// never blocks and never creates a waits-for edge.
+func (p *Promise[T]) TryGetErr() (v T, ok bool, err error) {
+	if p.s.fulfilled() {
+		return p.value, true, p.s.err
+	}
+	var zero T
+	return zero, false, nil
 }
 
 // Set fulfils the promise with value v (rule 4: only the current owner may
@@ -294,7 +355,7 @@ func (p *Promise[T]) Set(t *Task, v T) error {
 		return err
 	}
 	p.value = v
-	close(p.s.done)
+	p.s.publish()
 	if r := t.rt; r.events != nil {
 		r.logEvent(EvSet, t, &p.s, "")
 	}
@@ -307,13 +368,13 @@ func (p *Promise[T]) Set(t *Task, v T) error {
 // omitted-set cascade also uses.
 func (p *Promise[T]) SetError(t *Task, err error) error {
 	if err == nil {
-		err = fmt.Errorf("core: promise %s completed exceptionally", p.s.label)
+		err = fmt.Errorf("core: promise %s completed exceptionally", p.s.displayLabel())
 	}
 	if e := p.beginSet(t); e != nil {
 		return e
 	}
 	p.s.err = err
-	close(p.s.done)
+	p.s.publish()
 	if r := t.rt; r.events != nil {
 		r.logEvent(EvSetError, t, &p.s, err.Error())
 	}
@@ -330,7 +391,7 @@ func (p *Promise[T]) MustSet(t *Task, v T) {
 
 // beginSet performs the policy checks shared by Set and SetError and
 // claims the completion. On return with nil error the caller must complete
-// the promise (write payload, close done).
+// the promise (write payload, publish).
 func (p *Promise[T]) beginSet(t *Task) error {
 	r := t.rt
 	if r.countEvents {
@@ -341,16 +402,16 @@ func (p *Promise[T]) beginSet(t *Task) error {
 		owner := s.owner.Load()
 		if owner != t {
 			var err error
-			if owner == nil && s.completed.Load() {
-				err = &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+			if owner == nil && s.state.Load() != stateEmpty {
+				err = &DoubleSetError{TaskID: t.id, TaskName: t.displayName(), PromiseID: s.id, PromiseLabel: s.displayLabel()}
 			} else {
 				err = ownershipError("set", t, p, owner)
 			}
 			r.alarm(err)
 			return err
 		}
-		if !s.completed.CompareAndSwap(false, true) {
-			err := &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+		if !s.claim() {
+			err := &DoubleSetError{TaskID: t.id, TaskName: t.displayName(), PromiseID: s.id, PromiseLabel: s.displayLabel()}
 			r.alarm(err)
 			return err
 		}
@@ -365,8 +426,8 @@ func (p *Promise[T]) beginSet(t *Task) error {
 		}
 		return nil
 	}
-	if !s.completed.CompareAndSwap(false, true) {
-		err := &DoubleSetError{TaskID: t.id, TaskName: t.name, PromiseID: s.id, PromiseLabel: s.label}
+	if !s.claim() {
+		err := &DoubleSetError{TaskID: t.id, TaskName: t.displayName(), PromiseID: s.id, PromiseLabel: s.displayLabel()}
 		r.alarm(err)
 		return err
 	}
@@ -380,13 +441,13 @@ func ownershipError(op string, t *Task, p AnyPromise, owner *Task) *OwnershipErr
 	e := &OwnershipError{
 		Op:           op,
 		TaskID:       t.id,
-		TaskName:     t.name,
+		TaskName:     t.displayName(),
 		PromiseID:    p.ID(),
 		PromiseLabel: p.Label(),
 	}
 	if owner != nil {
 		e.OwnerID = owner.id
-		e.OwnerName = owner.name
+		e.OwnerName = owner.displayName()
 	}
 	return e
 }

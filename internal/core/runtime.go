@@ -96,11 +96,40 @@ func WithEventCounting(on bool) Option { return func(r *Runtime) { r.countEvents
 // a policy violation or deadlock is detected, before the error propagates.
 func WithAlarmHandler(f func(error)) Option { return func(r *Runtime) { r.onAlarm = f } }
 
-// WithExecutor replaces the task executor. The default starts one
+// WithExecutor replaces the task executor. The default (nil) starts one
 // goroutine per task, which is the unbounded-growth execution strategy the
 // paper requires (there is no a-priori bound on simultaneously blocked
-// tasks). See the sched package for an elastic pool alternative.
+// tasks); it is also the fastest spawn path, because the runtime starts
+// the goroutine with the task and body as plain arguments instead of
+// allocating a capturing closure for the executor. See the sched package
+// for an elastic pool alternative.
 func WithExecutor(exec func(func())) Option { return func(r *Runtime) { r.exec = exec } }
+
+// WithTaskPooling recycles terminated Task objects through a per-runtime
+// sync.Pool, eliminating the Task allocation from the steady-state spawn
+// path (QSort-style spawn storms reuse a small working set of handles).
+//
+// Constraint: with pooling on, a *Task handle must not be used for the
+// FIRST time after the task has terminated — the runtime may have reused
+// the object for a later spawn. A Wait that begins before termination is
+// safe: Wait marks the handle before touching the termination gate, and
+// the runtime never recycles a marked handle (such tasks are left to the
+// garbage collector). Programs that join through promises — the paper's
+// model — are unaffected either way.
+// The deadlock detector stays precise: recycling happens strictly after
+// the terminating task has been cleared from every promise's owner field
+// (finishTask), and Algorithm 2 re-reads a per-handle generation counter
+// around its waitingOn read, so a pointer recycled mid-traversal cannot
+// smuggle a stale edge through the double-read owner check.
+func WithTaskPooling(on bool) Option {
+	return func(r *Runtime) {
+		if on {
+			r.taskPool = &sync.Pool{New: func() any { return new(Task) }}
+		} else {
+			r.taskPool = nil
+		}
+	}
+}
 
 // WithIdleWatch installs the whole-program quiescence detector the paper
 // contrasts with in §1 (the Go runtime's strategy): onQuiescent fires when
@@ -141,7 +170,8 @@ type Runtime struct {
 	tracking    OwnedTracking
 	countEvents bool
 	onAlarm     func(error)
-	exec        func(func())
+	exec        func(func()) // nil selects the built-in goroutine-per-task start
+	taskPool    *sync.Pool
 	trace       *traceRegistry
 	gdet        *globalDetector
 	idle        *idleWatch
@@ -167,7 +197,6 @@ func NewRuntime(opts ...Option) *Runtime {
 		mode:     Full,
 		detector: DetectLockFree,
 		tracking: TrackList,
-		exec:     func(f func()) { go f() },
 	}
 	for _, o := range opts {
 		o(r)

@@ -80,10 +80,10 @@ func (r *Runtime) Snapshot() []SnapshotNode {
 	}
 	out := make([]SnapshotNode, 0, len(tasks))
 	for _, t := range tasks {
-		n := SnapshotNode{TaskID: t.id, TaskName: t.name}
+		n := SnapshotNode{TaskID: t.id, TaskName: t.displayName()}
 		if w := t.waitingOn.Load(); w != nil {
 			n.WaitingOnID = w.id
-			n.WaitingLabel = w.label
+			n.WaitingLabel = w.displayLabel()
 		}
 		n.Owned = ownedBy[t.id]
 		sort.Strings(n.Owned)

@@ -19,7 +19,7 @@ type TaskFunc func(t *Task) error
 type Task struct {
 	rt     *Runtime
 	id     uint64
-	name   string
+	name   string // "" means "task-<id>", rendered lazily by displayName
 	parent *Task
 
 	// waitingOn is the promise this task is currently blocked on inside
@@ -38,15 +38,42 @@ type Task struct {
 	// ownedCount is the footprint-saving alternative under TrackCounter.
 	ownedCount int
 
-	done chan struct{}
+	// done is signalled at termination, after err is written. Lazily
+	// allocated: tasks nobody Waits on never pay for a channel.
+	done gate
 	err  error
+
+	// gen counts recycles of this Task object (WithTaskPooling). The
+	// lock-free detector snapshots it around its waitingOn read so a
+	// handle that was recycled mid-traversal — same pointer, different
+	// task — cannot satisfy the double-read owner check by pointer ABA.
+	gen atomic.Uint32
+
+	// waited is set (sticky) as the very first action of Wait. Under
+	// WithTaskPooling the terminating goroutine reads it after signalling
+	// done and refuses to recycle a handle that anyone waited on. The
+	// flag — not the gate's channel — carries this information because a
+	// Wait landing after the signal is admitted via the gate's sentinel
+	// without ever installing a channel; the unconditional store is what
+	// makes "Wait began before termination" observable.
+	waited atomic.Bool
 }
 
 // ID returns the task's unique identifier within its runtime.
 func (t *Task) ID() uint64 { return t.id }
 
 // Name returns the task's diagnostic name.
-func (t *Task) Name() string { return t.name }
+func (t *Task) Name() string { return t.displayName() }
+
+// displayName renders the diagnostic name, defaulting to "task-<id>". The
+// default is computed on demand so spawning a task never pays a
+// fmt.Sprintf for a name nobody reads.
+func (t *Task) displayName() string {
+	if t.name != "" {
+		return t.name
+	}
+	return fmt.Sprintf("task-%d", t.id)
+}
 
 // Parent returns the task that spawned this one, or nil for the root task.
 func (t *Task) Parent() *Task { return t.parent }
@@ -59,8 +86,17 @@ func (t *Task) Runtime() *Runtime { return t.rt }
 // it is NOT policy-checked and NOT visible to the deadlock detector. Code
 // that wants detector-visible joins should await a promise the task sets
 // (see collections.Future and collections.Finish).
+//
+// Under WithTaskPooling, Wait is safe if it begins before the task
+// terminates (a waited-on handle is never recycled), but must not be a
+// handle's first use after termination; see the option's documentation.
 func (t *Task) Wait() error {
-	<-t.done
+	// The waited store MUST precede any gate access: it is the seq-cst
+	// marker the terminating goroutine checks before recycling the
+	// handle, and it covers waiters admitted through the gate's sentinel
+	// (who never install a channel) just as well as blocked ones.
+	t.waited.Store(true)
+	<-t.done.wait()
 	return t.err
 }
 
@@ -165,7 +201,7 @@ func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
 			t.noteDischarged(ap)
 			child.noteOwned(ap)
 			if r.events != nil {
-				r.logEvent(EvMove, t, s, "to "+child.name)
+				r.logEvent(EvMove, t, s, "to "+child.displayName())
 			}
 		}
 	}
@@ -193,24 +229,51 @@ func (t *Task) outstanding() ([]AnyPromise, int) {
 func invokeTask(f TaskFunc, t *Task) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = &PanicError{TaskID: t.id, TaskName: t.name, Value: rec, Stack: debug.Stack()}
+			err = &PanicError{TaskID: t.id, TaskName: t.displayName(), Value: rec, Stack: debug.Stack()}
 		}
 	}()
 	return f(t)
 }
 
+// newTask allocates (or, under WithTaskPooling, recycles) a task handle.
 func (r *Runtime) newTask(name string, parent *Task) *Task {
 	id := r.nextTask.Add(1)
-	if name == "" {
-		name = fmt.Sprintf("task-%d", id)
+	var t *Task
+	if r.taskPool != nil {
+		t = r.taskPool.Get().(*Task)
+	} else {
+		t = &Task{}
 	}
-	t := &Task{rt: r, id: id, name: name, parent: parent, done: make(chan struct{})}
+	t.rt, t.id, t.name, t.parent = r, id, name, parent
 	if r.trace != nil {
 		r.trace.addTask(t)
 	}
 	return t
 }
 
+// releaseTask scrubs a terminated task and returns it to the pool. Only
+// called under WithTaskPooling, after every runtime-internal use of the
+// handle is finished. The owned entries are nilled so a pooled task does
+// not pin the last promises it touched.
+func (r *Runtime) releaseTask(t *Task) {
+	t.gen.Add(1)
+	t.parent = nil
+	t.name = ""
+	t.waitingOn.Store(nil)
+	for i := range t.owned {
+		t.owned[i] = nil
+	}
+	t.owned = t.owned[:0]
+	t.ownedCount = 0
+	t.err = nil
+	t.done.reset()
+	r.taskPool.Put(t)
+}
+
+// startTask hands the task body to the executor. With the default executor
+// (r.exec == nil) the goroutine is started directly with t and f as
+// arguments — no closure is allocated for the spawn. A custom executor
+// receives the classic func() wrapper, since its interface demands one.
 func (r *Runtime) startTask(t *Task, f TaskFunc) {
 	r.wg.Add(1)
 	r.tasks.Add(1)
@@ -220,29 +283,47 @@ func (r *Runtime) startTask(t *Task, f TaskFunc) {
 	if r.events != nil {
 		r.logEvent(EvTaskStart, t, nil, "")
 	}
-	r.exec(func() {
-		defer r.wg.Done()
-		if r.idle != nil {
-			defer r.idle.taskFinished()
-		}
-		err := invokeTask(f, t)
-		err = r.finishTask(t, err)
-		t.err = err
-		close(t.done)
-		if r.events != nil {
-			detail := ""
-			if err != nil {
-				detail = err.Error()
-			}
-			r.logEvent(EvTaskEnd, t, nil, detail)
-		}
-		if r.trace != nil {
-			r.trace.removeTask(t.id)
-		}
+	if r.exec == nil {
+		go r.runTask(t, f)
+		return
+	}
+	r.exec(func() { r.runTask(t, f) })
+}
+
+// runTask is the body wrapper every task runs: invoke, enforce rule 3,
+// publish the result, and recycle the handle if pooling is on.
+func (r *Runtime) runTask(t *Task, f TaskFunc) {
+	defer r.wg.Done()
+	if r.idle != nil {
+		defer r.idle.taskFinished()
+	}
+	err := invokeTask(f, t)
+	err = r.finishTask(t, err)
+	t.err = err
+	t.done.signal()
+	if r.events != nil {
+		detail := ""
 		if err != nil {
-			r.record(err)
+			detail = err.Error()
 		}
-	})
+		r.logEvent(EvTaskEnd, t, nil, detail)
+	}
+	if r.trace != nil {
+		r.trace.removeTask(t.id)
+	}
+	if err != nil {
+		r.record(err)
+	}
+	// Recycle only handles nobody ever waited on. Any Wait that began
+	// before this load stored the sticky waited flag as its first action
+	// (seq-cst, so this load observes it), and that waiter will still
+	// read t.err after waking — such a task is left to the garbage
+	// collector instead of being scrubbed under the waiter's feet. A
+	// Wait beginning after this load is a first use of the handle after
+	// termination, which WithTaskPooling documents as invalid.
+	if r.taskPool != nil && !t.waited.Load() {
+		r.releaseTask(t)
+	}
 }
 
 // finishTask enforces rule 3: the terminating task must own no promises.
@@ -256,7 +337,7 @@ func (r *Runtime) finishTask(t *Task, err error) error {
 	if n == 0 {
 		return err
 	}
-	om := &OmittedSetError{TaskID: t.id, TaskName: t.name, Promises: leaked, Count: n}
+	om := &OmittedSetError{TaskID: t.id, TaskName: t.displayName(), Promises: leaked, Count: n}
 	r.alarm(om)
 	cause := err
 	if cause == nil {
@@ -266,9 +347,9 @@ func (r *Runtime) finishTask(t *Task, err error) error {
 		s := ap.state()
 		s.completeError(&BrokenPromiseError{
 			PromiseID:    s.id,
-			PromiseLabel: s.label,
+			PromiseLabel: s.displayLabel(),
 			TaskID:       t.id,
-			TaskName:     t.name,
+			TaskName:     t.displayName(),
 			Cause:        cause,
 		})
 		if r.trace != nil {

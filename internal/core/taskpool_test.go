@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTaskPoolingSpawnJoin churns thousands of sequential spawns with
+// pooling on: every join goes through a promise (the supported pattern),
+// values must flow correctly through recycled Task handles.
+func TestTaskPoolingSpawnJoin(t *testing.T) {
+	for _, mode := range []Mode{Unverified, Ownership, Full} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := NewRuntime(WithMode(mode), WithTaskPooling(true))
+			err := rt.Run(func(root *Task) error {
+				for i := 0; i < 5000; i++ {
+					p := NewPromise[int](root)
+					if _, err := root.Async(func(c *Task) error {
+						return p.Set(c, i)
+					}, p); err != nil {
+						return err
+					}
+					v, err := p.Get(root)
+					if err != nil {
+						return err
+					}
+					if v != i {
+						t.Fatalf("round %d delivered %d", i, v)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTaskPoolingWaitStaysSafe: a Wait that engages the done gate before
+// the task terminates is legitimate even under pooling — the runtime must
+// not recycle a watched handle out from under the waiter, and the waiter
+// must see the task's real error, never a scrubbed or recycled one. Run
+// with -race: the original bug was a data race between Wait's err read
+// and releaseTask's scrub.
+//
+// The test is white-box about ordering: it holds the child in its body
+// until the waiter has observably begun its Wait (the sticky waited
+// flag), which is exactly the "Wait began before termination" condition
+// WithTaskPooling guarantees. Both admission paths get exercised across
+// the rounds — waiters that install a channel and waiters that land
+// after the signal and are admitted via the gate's sentinel. (A Wait
+// that starts only after the task exited remains undefined under
+// pooling, as documented.)
+func TestTaskPoolingWaitStaysSafe(t *testing.T) {
+	rt := NewRuntime(WithMode(Unverified), WithTaskPooling(true))
+	sentinel := errors.New("child failed on purpose")
+	err := rt.Run(func(root *Task) error {
+		for i := 0; i < 2000; i++ {
+			release := make(chan struct{})
+			child, err := root.Async(func(c *Task) error {
+				<-release
+				return sentinel
+			})
+			if err != nil {
+				return err
+			}
+			got := make(chan error, 1)
+			go func() { got <- child.Wait() }()
+			for !child.waited.Load() {
+				runtime.Gosched() // waiter has not begun its Wait yet
+			}
+			close(release) // now the child may terminate
+			if e := <-got; !errors.Is(e, sentinel) {
+				t.Fatalf("round %d: Wait returned %v, want the child's error", i, e)
+			}
+		}
+		return nil
+	})
+	// Every child deliberately failed; Run reports the joined errors.
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("run error = %v, want joined child failures", err)
+	}
+}
+
+// TestTaskPoolingKeepsDetectorPrecise first churns the pool so later
+// spawns run on recycled handles, then forms a genuine 2-cycle: the
+// detector must still name it (no missed cycle), and the churn phase must
+// not have produced any alarms (no false alarms from stale pointers).
+func TestTaskPoolingKeepsDetectorPrecise(t *testing.T) {
+	var deadlocks atomic.Int32
+	rt := NewRuntime(WithMode(Full), WithTaskPooling(true), WithAlarmHandler(func(err error) {
+		var de *DeadlockError
+		if errors.As(err, &de) {
+			deadlocks.Add(1)
+		}
+	}))
+	err := rt.Run(func(root *Task) error {
+		for i := 0; i < 1000; i++ {
+			p := NewPromise[struct{}](root)
+			if _, err := root.Async(func(c *Task) error {
+				return p.Set(c, struct{}{})
+			}, p); err != nil {
+				return err
+			}
+			if _, err := p.Get(root); err != nil {
+				return err
+			}
+		}
+		if n := deadlocks.Load(); n != 0 {
+			t.Fatalf("churn phase raised %d deadlock alarms", n)
+		}
+		pa := NewPromiseNamed[int](root, "pa")
+		pb := NewPromiseNamed[int](root, "pb")
+		if _, err := root.AsyncNamed("c1", func(c *Task) error {
+			if _, err := pb.Get(c); err != nil {
+				return err
+			}
+			return pa.Set(c, 1)
+		}, pa); err != nil {
+			return err
+		}
+		if _, err := root.AsyncNamed("c2", func(c *Task) error {
+			if _, err := pa.Get(c); err != nil {
+				return err
+			}
+			return pb.Set(c, 2)
+		}, pb); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cycle not reported")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("run error carries no DeadlockError: %v", err)
+	}
+	if deadlocks.Load() == 0 {
+		t.Fatal("alarm handler never saw the deadlock")
+	}
+}

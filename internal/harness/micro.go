@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Micro is one fast-path microbenchmark measurement: promise and spawn
+// latencies in the style of the BenchmarkMicro_* suite, but measured by
+// cmd/benchtable so they land in BENCH_table1.json next to the Table-1
+// rows and successive PRs can track the fast-path trajectory.
+type Micro struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// microIters is sized so each measurement takes a few milliseconds: long
+// enough to amortize timer resolution, short enough that the whole micro
+// suite adds nothing noticeable to a benchtable run.
+const microIters = 200_000
+
+// measureMicro times iters runs of the step produced by setup inside a
+// fresh runtime and returns ns/op, B/op and allocs/op (allocation figures
+// from the per-process MemStats deltas, so run them single-threaded).
+// setup runs once, before the warm-up, for fixtures that must outlive the
+// loop (e.g. a pre-fulfilled promise).
+func measureMicro(name string, mode core.Mode, iters int, opts []core.Option, setup func(t *core.Task) (func(i int) error, error)) (Micro, error) {
+	m := Micro{Name: name, Mode: mode.String()}
+	rt := core.NewRuntime(append([]core.Option{core.WithMode(mode)}, opts...)...)
+	err := rt.Run(func(t *core.Task) error {
+		step, err := setup(t)
+		if err != nil {
+			return err
+		}
+		// Warm-up: let pools and owned lists reach steady state.
+		for i := 0; i < 1000; i++ {
+			if err := step(i); err != nil {
+				return err
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := step(i); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		m.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+		m.BPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+		m.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+		return nil
+	})
+	if err != nil {
+		return m, fmt.Errorf("harness: micro %s/%s: %w", name, m.Mode, err)
+	}
+	return m, nil
+}
+
+// The micro fixtures are exported so the root BenchmarkMicro_* functions
+// and MeasureMicros time the SAME operation: a drift between what go test
+// reports and what BENCH_table1.json tracks would silently corrupt the
+// cross-PR trajectory. Each fixture runs once per measurement and returns
+// the per-iteration step.
+
+// FulfilledGetFixture pre-fulfils one promise; the step is a Get on it —
+// the pure fast-path read (one atomic load, 0 allocs).
+func FulfilledGetFixture(t *core.Task) (func(int) error, error) {
+	p := core.NewPromise[int](t)
+	if err := p.Set(t, 42); err != nil {
+		return nil, err
+	}
+	return func(int) error {
+		_, err := p.Get(t)
+		return err
+	}, nil
+}
+
+// SetGetFixture's step is a full NewPromise/Set/Get round-trip.
+func SetGetFixture(t *core.Task) (func(int) error, error) {
+	return func(i int) error {
+		p := core.NewPromise[int](t)
+		if err := p.Set(t, i); err != nil {
+			return err
+		}
+		_, err := p.Get(t)
+		return err
+	}, nil
+}
+
+// SpawnFixture's step spawns a child with one moved promise and joins
+// through it.
+func SpawnFixture(t *core.Task) (func(int) error, error) {
+	return func(int) error {
+		p := core.NewPromise[struct{}](t)
+		if _, err := t.Async(func(c *core.Task) error {
+			return p.Set(c, struct{}{})
+		}, p); err != nil {
+			return err
+		}
+		_, err := p.Get(t)
+		return err
+	}, nil
+}
+
+// MeasureMicros runs the fast-path microbenchmarks — fulfilled-promise
+// Get, Set/Get round-trip, spawn+join with one moved promise, and the
+// pooled-spawn variant — across the requested modes.
+func MeasureMicros(modes []core.Mode) ([]Micro, error) {
+	var out []Micro
+	for _, mode := range modes {
+		for _, bench := range []struct {
+			name  string
+			iters int
+			opts  []core.Option
+			setup func(t *core.Task) (func(int) error, error)
+		}{
+			{"fulfilled-get", microIters, nil, FulfilledGetFixture},
+			{"setget", microIters, nil, SetGetFixture},
+			{"spawn", microIters / 4, nil, SpawnFixture},
+			{"spawn-pooled", microIters / 4, []core.Option{core.WithTaskPooling(true)}, SpawnFixture},
+		} {
+			m, err := measureMicro(bench.name, mode, bench.iters, bench.opts, bench.setup)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

@@ -13,23 +13,25 @@ type Spec struct {
 	Prog Program
 }
 
-// Row is one line of Table 1 plus the Figure 1 inputs.
+// Row is one line of Table 1 plus the Figure 1 inputs. The json tags are
+// the schema of BENCH_table1.json (cmd/benchtable -json), the repo's
+// machine-readable perf trajectory.
 type Row struct {
-	Name string
+	Name string `json:"benchmark"`
 
-	BaselineSec  float64 // mean unverified execution time
-	BaselineCI   float64
-	VerifiedSec  float64 // mean Full-mode execution time
-	VerifiedCI   float64
-	TimeOverhead float64
+	BaselineSec  float64 `json:"baseline_s"` // mean unverified execution time
+	BaselineCI   float64 `json:"baseline_ci95"`
+	VerifiedSec  float64 `json:"verified_s"` // mean Full-mode execution time
+	VerifiedCI   float64 `json:"verified_ci95"`
+	TimeOverhead float64 `json:"time_overhead"`
 
-	BaselineMB  float64
-	VerifiedMB  float64
-	MemOverhead float64
+	BaselineMB  float64 `json:"baseline_mb"`
+	VerifiedMB  float64 `json:"verified_mb"`
+	MemOverhead float64 `json:"mem_overhead"`
 
-	Tasks     int64
-	GetsPerMs float64 // rate w.r.t. baseline execution time, as in Table 1
-	SetsPerMs float64
+	Tasks     int64   `json:"tasks"`
+	GetsPerMs float64 `json:"gets_per_ms"` // rate w.r.t. baseline execution time, as in Table 1
+	SetsPerMs float64 `json:"sets_per_ms"`
 }
 
 // MeasureRow produces the full Table-1 row for one benchmark: baseline vs

@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -35,14 +36,34 @@ func (goPerTask) Execute(f func()) { go f() }
 
 // Elastic is a grow-on-demand worker pool. Execute hands the function to
 // an idle worker if one is parked, otherwise starts a new worker. Workers
-// park for IdleTimeout waiting for more work before exiting, bounding the
-// idle population over time.
+// idle for longer than IdleTimeout are retired, bounding the parked
+// population over time.
+//
+// This is the work-queue-backed v2 design: instead of one shared
+// unbuffered jobs channel — which every submission and every parked
+// worker contended on, and which under a QSort-style spawn storm became
+// the pool's serialization point — each worker owns a 1-slot local queue.
+// Execute pops a parked worker off a LIFO stack (most recently parked
+// first, for cache warmth) and hands the job straight to that worker's
+// slot. The only shared state is the stack itself, held for a
+// pointer-sized push or pop; job transfer is uncontended.
 type Elastic struct {
-	jobs        chan func()
 	idleTimeout time.Duration
+
+	mu        sync.Mutex
+	parked    []*worker // LIFO: oldest park at index 0, newest at the top
+	cleanerOn bool
 
 	spawned atomic.Int64
 	reused  atomic.Int64
+}
+
+// worker is one pool goroutine and its local job slot. The 1-slot buffer
+// lets Execute hand off without waiting for the worker to reach its
+// receive, and lets a retiring worker drain a job that raced its retirement.
+type worker struct {
+	slot     chan func()
+	parkedAt time.Time // guarded by Elastic.mu while the worker is parked
 }
 
 // NewElastic creates an elastic pool. idleTimeout controls how long an
@@ -52,29 +73,98 @@ func NewElastic(idleTimeout time.Duration) *Elastic {
 	if idleTimeout <= 0 {
 		idleTimeout = 50 * time.Millisecond
 	}
-	return &Elastic{jobs: make(chan func()), idleTimeout: idleTimeout}
+	return &Elastic{idleTimeout: idleTimeout}
 }
 
 // Execute schedules f on an idle worker, growing the pool if none is
 // available. It never blocks waiting for a worker.
 func (e *Elastic) Execute(f func()) {
-	select {
-	case e.jobs <- f:
+	if w := e.popParked(); w != nil {
 		e.reused.Add(1)
-	default:
-		e.spawned.Add(1)
-		go e.worker(f)
+		w.slot <- f // buffered: never blocks, worker is committed to drain it
+		return
+	}
+	e.spawned.Add(1)
+	w := &worker{slot: make(chan func(), 1)}
+	go w.run(e, f)
+}
+
+// popParked claims the most recently parked worker, or nil. A claimed
+// worker is off the stack, so the cleaner can no longer retire it.
+func (e *Elastic) popParked() *worker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.parked)
+	if n == 0 {
+		return nil
+	}
+	w := e.parked[n-1]
+	e.parked[n-1] = nil
+	e.parked = e.parked[:n-1]
+	return w
+}
+
+func (w *worker) run(e *Elastic, f func()) {
+	for {
+		f()
+		e.park(w)
+		var ok bool
+		if f, ok = <-w.slot; !ok {
+			return // retired by the cleaner
+		}
 	}
 }
 
-func (e *Elastic) worker(f func()) {
+// park pushes w onto the idle stack and makes sure a cleaner goroutine is
+// watching for expirations.
+func (e *Elastic) park(w *worker) {
+	e.mu.Lock()
+	w.parkedAt = time.Now()
+	e.parked = append(e.parked, w)
+	startCleaner := !e.cleanerOn
+	if startCleaner {
+		e.cleanerOn = true
+	}
+	e.mu.Unlock()
+	if startCleaner {
+		go e.cleaner()
+	}
+}
+
+// cleaner retires workers parked for longer than the idle timeout. It runs
+// only while the idle stack is non-empty: the last sweep that finds the
+// stack empty exits, and the next park starts a fresh cleaner. Because
+// parkedAt is assigned in park order, the stack is sorted oldest-first and
+// each sweep strips a prefix.
+func (e *Elastic) cleaner() {
+	interval := e.idleTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
 	for {
-		f()
-		timer := time.NewTimer(e.idleTimeout)
-		select {
-		case f = <-e.jobs:
-			timer.Stop()
-		case <-timer.C:
+		time.Sleep(interval)
+		cutoff := time.Now().Add(-e.idleTimeout)
+		e.mu.Lock()
+		n := 0
+		for n < len(e.parked) && e.parked[n].parkedAt.Before(cutoff) {
+			n++
+		}
+		expired := make([]*worker, n)
+		copy(expired, e.parked[:n])
+		remaining := copy(e.parked, e.parked[n:])
+		for i := remaining; i < len(e.parked); i++ {
+			e.parked[i] = nil
+		}
+		e.parked = e.parked[:remaining]
+		stop := len(e.parked) == 0
+		if stop {
+			e.cleanerOn = false
+		}
+		e.mu.Unlock()
+		for _, w := range expired {
+			close(w.slot) // worker sees ok=false and exits
+		}
+		if stop {
 			return
 		}
 	}
@@ -84,4 +174,12 @@ func (e *Elastic) worker(f func()) {
 // submissions were satisfied by reusing an idle worker.
 func (e *Elastic) Stats() (spawned, reused int64) {
 	return e.spawned.Load(), e.reused.Load()
+}
+
+// Idle reports how many workers are currently parked (primarily for tests
+// and monitoring: after idleTimeout with no traffic it trends to zero).
+func (e *Elastic) Idle() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.parked)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -103,4 +104,57 @@ func TestElasticWorkersExitAfterIdle(t *testing.T) {
 	if after != before+1 {
 		t.Fatalf("expected a fresh spawn after idle exit (before=%d after=%d)", before, after)
 	}
+}
+
+func TestElasticBurstReuseStats(t *testing.T) {
+	// Two bursts separated by a quiet gap well inside the idle timeout:
+	// the first burst grows the pool, the second should be served mostly
+	// by reusing the workers the first burst parked.
+	ex := NewElastic(2 * time.Second)
+	const burst = 32
+	runBurst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			ex.Execute(func() { wg.Done() })
+		}
+		wg.Wait()
+	}
+	runBurst()
+	time.Sleep(50 * time.Millisecond) // let every worker park
+	spawnedAfterFirst, _ := ex.Stats()
+	if ex.Idle() == 0 {
+		t.Fatal("no workers parked after the first burst")
+	}
+	runBurst()
+	spawned, reused := ex.Stats()
+	if spawned+reused != 2*burst {
+		t.Fatalf("accounting: spawned %d + reused %d != %d", spawned, reused, 2*burst)
+	}
+	if reused == 0 {
+		t.Fatalf("second burst reused nothing (spawned %d -> %d)", spawnedAfterFirst, spawned)
+	}
+}
+
+func TestElasticIdleWorkersBoundGoroutines(t *testing.T) {
+	// Regression for the v2 retirement path: after a burst and an idle
+	// period longer than IdleTimeout, the parked population must drain to
+	// zero and the workers' goroutines must actually exit.
+	before := runtime.NumGoroutine()
+	ex := NewElastic(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		ex.Execute(func() { wg.Done() })
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ex.Idle() == 0 && runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("idle workers not retired: %d parked, %d goroutines (baseline %d)",
+		ex.Idle(), runtime.NumGoroutine(), before)
 }
