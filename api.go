@@ -28,6 +28,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Core types, re-exported.
@@ -129,8 +130,38 @@ var (
 	WithIdleWatch = core.WithIdleWatch
 	// WithEventLog retains recent policy events for post-mortems.
 	WithEventLog = core.WithEventLog
+	// TraceTo streams every policy event to a trace sink (see
+	// internal/trace for the binary format and sinks, and cmd/tracecheck
+	// for offline verification of recorded traces).
+	TraceTo = core.TraceTo
 	// Await is the type-erased policy-checked wait (see core.Await).
 	Await = core.Await
+)
+
+// Trace subsystem surface (see internal/trace): the sink types TraceTo
+// accepts, the binary-trace reader, and the offline verifier that
+// re-derives a run's verdict from its trace alone (cmd/tracecheck is the
+// command-line form).
+type (
+	// TraceSink receives drained trace-event batches.
+	TraceSink = trace.Sink
+	// TraceMemSink retains trace events in memory.
+	TraceMemSink = trace.MemSink
+	// TraceReport is the offline verifier's verdict over one trace.
+	TraceReport = trace.Report
+)
+
+var (
+	// NewTraceFileSink streams the binary trace format to a file.
+	NewTraceFileSink = trace.NewFileSink
+	// NewTraceWriterSink streams the binary trace format to an io.Writer.
+	NewTraceWriterSink = trace.NewWriterSink
+	// NewTraceMemSink retains trace events in memory (limit 0 = all).
+	NewTraceMemSink = trace.NewMemSink
+	// ReadTraceFile decodes a binary trace file into Seq-sorted events.
+	ReadTraceFile = trace.ReadFile
+	// VerifyTrace replays a trace and independently re-checks its run.
+	VerifyTrace = trace.Verify
 )
 
 // ErrTimeout is returned by Runtime.RunWithTimeout on a hang.

@@ -18,12 +18,14 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -110,6 +112,20 @@ func BenchmarkMicro_SetGet(b *testing.B) {
 	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
 		b.Run(mode.String(), func(b *testing.B) {
 			benchFixture(b, harness.SetGetFixture, core.WithMode(mode))
+		})
+	}
+}
+
+// BenchmarkMicro_SetGetTraced is BenchmarkMicro_SetGet with every event
+// streamed through the lock-free trace collector into the binary encoder
+// (sunk into io.Discard): the marginal cost of recording a verifiable
+// trace. Compare against BenchmarkMicro_SetGet/full; the same pair is
+// tracked as "setget-traced" in BENCH_table1.json.
+func BenchmarkMicro_SetGetTraced(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.SetGetFixture,
+				core.WithMode(mode), core.TraceTo(trace.NewWriterSink(io.Discard)))
 		})
 	}
 }

@@ -12,10 +12,14 @@
 //
 // Usage:
 //
-//	deadlock [-demo listing1|listing2|listing3|all] [-mode unverified|ownership|full] [-dot]
+//	deadlock [-demo listing1|listing2|listing3|all] [-mode unverified|ownership|full]
+//	         [-dot] [-events] [-trace file]
 //
 // -dot prints a Graphviz snapshot of the ownership / waits-for graph taken
 // while the program is stuck (requires a hanging mode, i.e. not full).
+// -trace records each demo's events to a binary trace file (suffixed with
+// the demo name when running all) and prints the offline verifier's
+// verdict on it — the same check `tracecheck <file>` performs.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,8 +39,10 @@ func main() {
 	modeFlag := flag.String("mode", "full", "runtime mode: unverified, ownership, full")
 	dot := flag.Bool("dot", false, "print a DOT snapshot of the stuck state (non-full modes)")
 	events := flag.Bool("events", false, "print the runtime's policy event log after each demo")
+	traceFlag := flag.String("trace", "", "record a binary trace per demo to this file and tracecheck it")
 	flag.Parse()
 	printEvents = *events
+	tracePath = *traceFlag
 
 	var mode core.Mode
 	switch *modeFlag {
@@ -56,7 +63,9 @@ func main() {
 		"listing3": listing3,
 	}
 	if *demo == "all" {
+		multiDemo = true
 		for _, name := range []string{"listing1", "listing2", "listing3"} {
+			currentDemo = name
 			demos[name](mode, *dot)
 		}
 		return
@@ -66,18 +75,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown demo %q\n", *demo)
 		os.Exit(2)
 	}
+	currentDemo = *demo
 	fn(mode, *dot)
 }
 
 // printEvents, when set via -events, appends the runtime's policy event
-// log to each demo's report.
-var printEvents bool
+// log to each demo's report. tracePath, when set via -trace, streams each
+// demo's events to a binary trace file.
+var (
+	printEvents bool
+	tracePath   string
+	currentDemo string
+	multiDemo   bool
+)
 
-// newRT builds a demo runtime honoring the -dot and -events flags.
+// demoTracePath names the current demo's trace file: the -trace path
+// itself for a single demo, suffixed with the demo name under -demo all.
+func demoTracePath() string {
+	if multiDemo {
+		return tracePath + "." + currentDemo
+	}
+	return tracePath
+}
+
+// newRT builds a demo runtime honoring the -dot, -events and -trace
+// flags.
 func newRT(mode core.Mode, dot bool) *core.Runtime {
 	opts := []core.Option{core.WithMode(mode), core.WithTracing(dot)}
 	if printEvents {
 		opts = append(opts, core.WithEventLog(256))
+	}
+	if tracePath != "" {
+		sink, err := trace.NewFileSink(demoTracePath())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deadlock: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, core.TraceTo(sink))
 	}
 	return core.NewRuntime(opts...)
 }
@@ -121,6 +155,16 @@ func report(name string, rt *core.Runtime, err error) {
 			}
 		}
 	}
+	if tracePath != "" {
+		path := demoTracePath()
+		if err := rt.TraceClose(); err != nil {
+			fmt.Printf("   trace: close failed: %v\n", err)
+		} else if evs, err := trace.ReadFile(path); err != nil {
+			fmt.Printf("   trace: reload failed: %v\n", err)
+		} else {
+			fmt.Printf("   trace: %s — tracecheck: %s\n", path, trace.Verify(evs).Summary())
+		}
+	}
 	fmt.Println()
 }
 
@@ -155,8 +199,11 @@ func listing1(mode core.Mode, dot bool) {
 	if dot && errors.Is(err, core.ErrTimeout) {
 		fmt.Println(rt.DOT())
 	}
-	close(stop)
+	// The bystander is released only after report() — which closes the
+	// trace — so its wakeup does not emit into a closing collector and
+	// the recorded trace is deterministic.
 	report("Listing 1 (deadlock cycle hidden behind a live task)", rt, err)
+	close(stop)
 }
 
 // listing2 is the paper's Listing 2: t3 should set r and s, delegates s to

@@ -7,35 +7,67 @@
 // runnable. The ownership-based detector names the cycle the moment the
 // second task blocks.
 //
-// Run with: go run ./examples/hiddendeadlock [-mode unverified|full]
+// The run is also recorded through the binary trace subsystem and
+// re-verified offline: the output's last line is the tracecheck verdict,
+// proving the alarm corresponds to a real cycle in the waits-for graph
+// reconstructed from the trace alone. With -trace <file> the trace is
+// written to disk (inspect it with `go run ./cmd/tracecheck -v <file>`);
+// without it the round-trip happens through an in-memory encoding.
+//
+// Run with: go run ./examples/hiddendeadlock [-mode unverified|full] [-trace file]
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 func main() {
 	modeFlag := flag.String("mode", "full", "unverified (hangs, rescued by timeout) or full (immediate alarm)")
+	traceFlag := flag.String("trace", "", "also write the binary trace to this file")
 	flag.Parse()
 	mode := core.Full
 	if *modeFlag == "unverified" {
 		mode = core.Unverified
 	}
 
+	// Record the whole run in the binary trace format — to a file when
+	// -trace is given, and always through an in-memory buffer so the
+	// encode -> decode -> verify round-trip is part of the demo.
+	var encoded bytes.Buffer
+	opts := []core.Option{core.WithMode(mode), core.TraceTo(trace.NewWriterSink(&encoded))}
+	if *traceFlag != "" {
+		sink, err := trace.NewFileSink(*traceFlag)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		opts = append(opts, core.TraceTo(sink))
+	}
+
 	start := time.Now()
 	var detectedAt time.Duration
-	rt := core.NewRuntime(core.WithMode(mode), core.WithAlarmHandler(func(err error) {
+	var stopServer sync.Once
+	serverDone := make(chan struct{})
+	opts = append(opts, core.WithAlarmHandler(func(err error) {
 		var dl *core.DeadlockError
 		if errors.As(err, &dl) && detectedAt == 0 {
 			detectedAt = time.Since(start)
 		}
+		// Once the bug is caught there is nothing left to demonstrate:
+		// release the bystander so the program unwinds and the recorded
+		// trace ends with a proper run-end marker. (In unverified mode no
+		// alarm ever fires — the hang below is the point.)
+		stopServer.Do(func() { close(serverDone) })
 	}))
-	serverDone := make(chan struct{})
+	rt := core.NewRuntime(opts...)
 	err := rt.RunWithTimeout(3*time.Second, func(root *core.Task) error {
 		config := core.NewPromiseNamed[string](root, "config")
 		metadata := core.NewPromiseNamed[string](root, "metadata")
@@ -71,7 +103,13 @@ func main() {
 		return nil
 	})
 	elapsed := time.Since(start)
-	close(serverDone)
+	// In the unverified (timeout) path the server is never released:
+	// every task stays parked (the deadlocked pair forever, the server
+	// on its channel), so the trace round-trip below runs with no
+	// concurrent writers and the recorded trace is deterministic; the
+	// goroutines are abandoned to process exit (see the note at the end
+	// of main). In full mode the alarm handler already released the
+	// server and Run unwound completely.
 
 	var dl *core.DeadlockError
 	switch {
@@ -88,4 +126,33 @@ func main() {
 	default:
 		fmt.Println("completed (unexpected for this demo)")
 	}
+
+	// The tracecheck round-trip: flush the trace, decode the binary
+	// stream, and let the offline verifier re-derive the verdict from
+	// the events alone.
+	if err := rt.TraceClose(); err != nil {
+		fmt.Println("trace close:", err)
+		return
+	}
+	evs, derr := trace.ReadAll(bytes.NewReader(encoded.Bytes()))
+	if derr != nil {
+		fmt.Println("trace decode:", derr)
+		return
+	}
+	rep := trace.Verify(evs)
+	fmt.Printf("tracecheck: %s\n", rep.Summary())
+	for _, a := range rep.Alarms {
+		if a.Class == trace.AlarmDeadlock {
+			fmt.Printf("tracecheck: deadlock cycle of %d task(s) re-verified in the reconstructed waits-for graph: %v\n",
+				a.CycleLen, a.CycleVerified)
+		}
+	}
+	if *traceFlag != "" {
+		fmt.Printf("trace written to %s (inspect with: go run ./cmd/tracecheck -v %s)\n", *traceFlag, *traceFlag)
+	}
+	// The server is deliberately NOT released here in the unverified
+	// path: the trace is closed, so waking it would record into a closed
+	// collector. Its goroutine (like the deadlocked pair's) is abandoned
+	// to process exit, which is RunWithTimeout's documented behaviour
+	// for hung demos.
 }

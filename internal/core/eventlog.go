@@ -1,142 +1,151 @@
 package core
 
 import (
-	"fmt"
+	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/trace"
 )
+
+// The runtime's event log is backed by the internal/trace subsystem: a
+// lock-free, sharded collector in place of the seed's single mutexed
+// ring. Writers (every task goroutine) append to per-shard chunks with
+// one atomic reservation and one publishing store; a background
+// collector drains retired chunks into the configured sinks. The Event
+// and EventKind names below are aliases so existing call sites and the
+// public facade keep working.
 
 // EventKind classifies an entry in the runtime's event log.
-type EventKind uint8
+type EventKind = trace.Kind
 
-// Event kinds, covering every policy-relevant action: the life cycle of a
-// promise (allocate, move, fulfil), the blocking structure (block, wake),
-// task boundaries, and alarms.
+// Event kinds, covering every policy-relevant action: the life cycle of
+// a promise (allocate, move, fulfil), the blocking structure (block,
+// wake), task boundaries, and alarms. The trace package adds stream
+// kinds (gap, meta, run-end) on top of these.
 const (
-	EvNewPromise EventKind = iota
-	EvMove
-	EvSet
-	EvSetError
-	EvBlock
-	EvWake
-	EvTaskStart
-	EvTaskEnd
-	EvAlarm
+	EvNewPromise = trace.KindNewPromise
+	EvMove       = trace.KindMove
+	EvSet        = trace.KindSet
+	EvSetError   = trace.KindSetError
+	EvBlock      = trace.KindBlock
+	EvWake       = trace.KindWake
+	EvTaskStart  = trace.KindTaskStart
+	EvTaskEnd    = trace.KindTaskEnd
+	EvAlarm      = trace.KindAlarm
 )
 
-// String returns the kind's log tag.
-func (k EventKind) String() string {
-	switch k {
-	case EvNewPromise:
-		return "new"
-	case EvMove:
-		return "move"
-	case EvSet:
-		return "set"
-	case EvSetError:
-		return "set-error"
-	case EvBlock:
-		return "block"
-	case EvWake:
-		return "wake"
-	case EvTaskStart:
-		return "task-start"
-	case EvTaskEnd:
-		return "task-end"
-	case EvAlarm:
-		return "alarm"
-	default:
-		return "unknown"
-	}
-}
-
 // Event is one entry of the event log: which task did what to which
-// promise (fields are zero when not applicable). Seq is a global sequence
-// number; events with ascending Seq are in a total order consistent with
-// each task's program order.
-type Event struct {
-	Seq          uint64
-	Kind         EventKind
-	TaskID       uint64
-	TaskName     string
-	PromiseID    uint64
-	PromiseLabel string
-	Detail       string
+// promise (fields are zero when not applicable). Seq is a global
+// sequence number; events with ascending Seq are in a total order
+// consistent with each task's program order.
+type Event = trace.Event
+
+// tracer wires a Runtime to a trace.Collector. mem is the bounded
+// in-memory sink behind WithEventLog (nil when only TraceTo sinks are
+// installed); extra accumulates TraceTo sinks until NewRuntime builds
+// the collector. Keeping mem apart from extra is what gives repeated
+// WithEventLog options last-wins capacity semantics.
+type tracer struct {
+	c     *trace.Collector
+	mem   *trace.MemSink
+	extra []trace.Sink
 }
 
-// String renders the event as one log line.
-func (e Event) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "#%-6d %-10s task=%s", e.Seq, e.Kind, e.TaskName)
-	if e.PromiseLabel != "" {
-		fmt.Fprintf(&b, " promise=%s", e.PromiseLabel)
+// ensureTracer returns the runtime's tracer, creating the pre-collector
+// shell on first use (options run before NewRuntime builds the
+// collector).
+func (r *Runtime) ensureTracer() *tracer {
+	if r.events == nil {
+		r.events = &tracer{}
 	}
-	if e.Detail != "" {
-		fmt.Fprintf(&b, " (%s)", e.Detail)
-	}
-	return b.String()
+	return r.events
 }
 
-// eventLog is a bounded ring of Events. It is a debugging aid
-// (WithEventLog): the mutex serializes writers, so it is not for timed
-// runs.
-type eventLog struct {
-	mu    sync.Mutex
-	seq   atomic.Uint64
-	ring  []Event
-	next  int
-	total int
-}
-
-func newEventLog(capacity int) *eventLog {
-	if capacity <= 0 {
-		capacity = 4096
+// startTracer builds the collector once all options have registered
+// their sinks. Called from NewRuntime. A cleanup tied to the Runtime
+// closes the collector (stopping its background goroutine) when the
+// runtime is garbage collected, so runtimes that never call TraceClose
+// do not leak; TraceClose remains the deterministic path.
+func (r *Runtime) startTracer() {
+	tr := r.events
+	sinks := tr.extra
+	if tr.mem != nil {
+		sinks = append([]trace.Sink{tr.mem}, tr.extra...)
 	}
-	return &eventLog{ring: make([]Event, capacity)}
-}
-
-func (l *eventLog) add(e Event) {
-	e.Seq = l.seq.Add(1)
-	l.mu.Lock()
-	l.ring[l.next] = e
-	l.next = (l.next + 1) % len(l.ring)
-	l.total++
-	l.mu.Unlock()
-}
-
-// snapshot returns the retained events in order.
-func (l *eventLog) snapshot() []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	n := l.total
-	if n > len(l.ring) {
-		n = len(l.ring)
-	}
-	out := make([]Event, 0, n)
-	start := (l.next - n + len(l.ring)) % len(l.ring)
-	for i := 0; i < n; i++ {
-		out = append(out, l.ring[(start+i)%len(l.ring)])
-	}
-	return out
+	tr.c = trace.New(trace.Options{Sinks: sinks})
+	runtime.AddCleanup(r, func(c *trace.Collector) { c.Close() }, tr.c)
 }
 
 // WithEventLog retains the most recent `capacity` policy events (promise
 // allocation, moves, sets, blocks, wakes, task boundaries, alarms) for
 // post-mortem inspection via Runtime.Events / Runtime.EventLog. capacity
-// <= 0 selects 4096. Debugging aid: adds a mutexed append to every
-// recorded action.
+// <= 0 selects 4096. Unlike the seed's mutexed ring, recording is
+// lock-free and sharded (see internal/trace); the retained window is
+// enforced by the in-memory sink, not by the recording path.
 func WithEventLog(capacity int) Option {
-	return func(r *Runtime) { r.events = newEventLog(capacity) }
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return func(r *Runtime) {
+		// Last option wins, like every other runtime option: a later
+		// WithEventLog replaces the retention window.
+		r.ensureTracer().mem = trace.NewMemSink(capacity)
+	}
 }
 
-// Events returns the retained event-log entries in order, or nil when
-// WithEventLog was not set.
-func (r *Runtime) Events() []Event {
+// TraceTo streams every policy event to sink in the binary trace format
+// (or whatever the sink does with them); see internal/trace for the
+// format, trace.NewFileSink / trace.NewWriterSink for ready-made sinks,
+// and cmd/tracecheck for offline verification of the result. TraceTo
+// may be combined with WithEventLog and with additional TraceTo sinks;
+// all share one collector. Call Runtime.TraceClose when done to flush
+// and close the sinks deterministically.
+func TraceTo(sink trace.Sink) Option {
+	return func(r *Runtime) {
+		tr := r.ensureTracer()
+		tr.extra = append(tr.extra, sink)
+	}
+}
+
+// TraceFlush drains everything recorded so far into the sinks. Precise
+// once the program is quiescent (e.g. after Run returns); mid-run it is
+// advisory — concurrent events may or may not be included, but nothing
+// is lost or duplicated.
+func (r *Runtime) TraceFlush() error {
 	if r.events == nil {
 		return nil
 	}
-	return r.events.snapshot()
+	return r.events.c.Flush()
+}
+
+// TraceClose performs a final drain and closes every sink (flushing
+// file sinks to disk). Idempotent. The runtime must not record further
+// events afterwards, so call it only after Run has returned.
+func (r *Runtime) TraceClose() error {
+	if r.events == nil {
+		return nil
+	}
+	return r.events.c.Close()
+}
+
+// EventsDropped returns the number of events the collector had to drop
+// (ring overflow under sustained producer pressure). Zero means the
+// trace is complete; tier-1 tests assert exactly that.
+func (r *Runtime) EventsDropped() uint64 {
+	if r.events == nil {
+		return 0
+	}
+	return r.events.c.Dropped()
+}
+
+// Events returns the retained event-log entries in total (Seq) order, or
+// nil when WithEventLog was not set.
+func (r *Runtime) Events() []Event {
+	if r.events == nil || r.events.mem == nil {
+		return nil
+	}
+	r.events.c.Flush()
+	return r.events.mem.Snapshot()
 }
 
 // EventLog renders the retained events as a multi-line log string.
@@ -153,15 +162,50 @@ func (r *Runtime) EventLog() string {
 	return b.String()
 }
 
-// logEvent appends an event if logging is enabled. Hot paths call it
+// logEvent records an event if tracing is enabled. Hot paths call it
 // behind a nil check on r.events, so disabled logging costs one branch.
+// Task and promise names are recorded raw ("" for the defaults, which
+// render lazily as task-<id>/promise-<id>), so emission never pays a
+// Sprintf.
 func (r *Runtime) logEvent(kind EventKind, t *Task, s *pstate, detail string) {
-	e := Event{Kind: kind, Detail: detail}
+	r.logEventArg(kind, t, s, 0, detail)
+}
+
+// logEventArg is logEvent with the kind-specific argument (move
+// destination, spawn parent, alarm class — see trace.Event).
+func (r *Runtime) logEventArg(kind EventKind, t *Task, s *pstate, arg uint64, detail string) {
+	e := Event{Kind: kind, Arg: arg, Detail: detail}
 	if t != nil {
-		e.TaskID, e.TaskName = t.id, t.displayName()
+		e.TaskID, e.TaskName = t.id, t.name
 	}
 	if s != nil {
-		e.PromiseID, e.PromiseLabel = s.id, s.displayLabel()
+		e.PromiseID, e.PromiseLabel = s.id, s.label
 	}
-	r.events.add(e)
+	r.events.c.Emit(e)
+}
+
+// logAlarm records an alarm event annotated with its class and the
+// blamed task/promise, so the offline verifier (cmd/tracecheck) can
+// re-check it structurally instead of parsing the message.
+func (r *Runtime) logAlarm(err error) {
+	e := Event{Kind: EvAlarm, Detail: err.Error()}
+	switch x := err.(type) {
+	case *DeadlockError:
+		// The reported cycle length rides in the Arg's upper bits so the
+		// offline verifier can compare it against its own walk without
+		// parsing the message.
+		e.Arg = trace.AlarmArg(trace.AlarmDeadlock, uint64(len(x.Cycle)))
+		if len(x.Cycle) > 0 {
+			e.TaskID, e.PromiseID = x.Cycle[0].TaskID, x.Cycle[0].PromiseID
+		}
+	case *OmittedSetError:
+		e.Arg, e.TaskID = trace.AlarmArg(trace.AlarmOmittedSet, 0), x.TaskID
+	case *OwnershipError:
+		e.Arg, e.TaskID, e.PromiseID = trace.AlarmArg(trace.AlarmOwnership, 0), x.TaskID, x.PromiseID
+	case *DoubleSetError:
+		e.Arg, e.TaskID, e.PromiseID = trace.AlarmArg(trace.AlarmDoubleSet, 0), x.TaskID, x.PromiseID
+	default:
+		e.Arg = trace.AlarmArg(trace.AlarmOther, 0)
+	}
+	r.events.c.Emit(e)
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func kindsOf(evs []Event) map[EventKind]int {
@@ -105,10 +109,13 @@ func TestEventLogRingBounds(t *testing.T) {
 	if len(evs) != 8 {
 		t.Fatalf("retained %d events, want 8", len(evs))
 	}
-	// The retained suffix must be the most recent events.
-	last := evs[len(evs)-1]
-	if last.Kind != EvTaskEnd {
-		t.Fatalf("last retained event = %v, want task-end", last.Kind)
+	// The retained suffix must be the most recent events: the run-end
+	// marker, preceded by the root's task-end.
+	if last := evs[len(evs)-1]; last.Kind != trace.KindRunEnd {
+		t.Fatalf("last retained event = %v, want run-end", last.Kind)
+	}
+	if prev := evs[len(evs)-2]; prev.Kind != EvTaskEnd {
+		t.Fatalf("second-to-last retained event = %v, want task-end", prev.Kind)
 	}
 }
 
@@ -150,8 +157,162 @@ func TestEventLogSetError(t *testing.T) {
 	}
 }
 
+// TestEventLogLastCapacityWins: repeated WithEventLog options behave
+// like every other runtime option — the last capacity wins.
+func TestEventLogLastCapacityWins(t *testing.T) {
+	rt := NewRuntime(WithEventLog(4), WithEventLog(8))
+	err := run(t, rt, func(tk *Task) error {
+		for i := 0; i < 50; i++ {
+			p := NewPromise[int](tk)
+			if e := p.Set(tk, i); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Events()); got != 8 {
+		t.Fatalf("retained %d events, want the later option's 8", got)
+	}
+}
+
+// TestEventLogNeverDrops asserts the overflow policy's healthy case:
+// concurrent emission from many tasks, across many chunk retirements,
+// with zero events dropped (Stats.EventsDropped is the counter the
+// ring-overflow policy increments instead of ever blocking a writer).
+func TestEventLogNeverDrops(t *testing.T) {
+	rt := NewRuntime(WithEventLog(0))
+	const workers, perWorker = 8, 1200
+	err := run(t, rt, func(tk *Task) error {
+		ps := make([]*Promise[int], workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ps[w] = NewPromise[int](tk)
+			w := w
+			wg.Add(1)
+			if _, e := tk.Async(func(c *Task) error {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					p := NewPromise[int](c)
+					if e := p.Set(c, i); e != nil {
+						return e
+					}
+					if _, e := p.Get(c); e != nil {
+						return e
+					}
+				}
+				return ps[w].Set(c, w)
+			}, ps[w]); e != nil {
+				wg.Done()
+				return e
+			}
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rt.Stats().EventsDropped; d != 0 {
+		t.Fatalf("EventsDropped = %d, want 0", d)
+	}
+	// No gap records may appear in a drop-free stream.
+	for _, e := range rt.Events() {
+		if e.Kind == trace.KindGap {
+			t.Fatalf("gap record in a drop-free trace: %v", e)
+		}
+	}
+}
+
+// TestTraceToRoundTrip streams a run through the binary format and
+// checks the decoded trace verifies offline: the same machinery
+// cmd/tracecheck uses, wired end-to-end from a live runtime.
+func TestTraceToRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rt := NewRuntime(TraceTo(trace.NewWriterSink(&buf)))
+	err := run(t, rt, func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "wire")
+		if _, e := tk.AsyncNamed("producer", func(c *Task) error {
+			return p.Set(c, 7)
+		}, p); e != nil {
+			return e
+		}
+		_, e := p.Get(tk)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.TraceClose(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := trace.Verify(evs)
+	if !rep.Clean() {
+		t.Fatalf("offline verifier rejected a clean run: %+v", rep)
+	}
+	if rep.Mode != "full" {
+		t.Fatalf("mode meta = %q", rep.Mode)
+	}
+	// Events() stays nil without WithEventLog even when TraceTo is set.
+	if rt.Events() != nil {
+		t.Fatal("Events() non-nil without WithEventLog")
+	}
+}
+
+// TestTraceCapturesDeadlockOffline: the recorded trace of a deadlocking
+// run must re-verify offline — exactly one deadlock alarm whose cycle
+// closes in the reconstructed waits-for graph.
+func TestTraceCapturesDeadlockOffline(t *testing.T) {
+	mem := trace.NewMemSink(0)
+	rt := NewRuntime(TraceTo(mem))
+	err := rt.Run(func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "p")
+		q := NewPromiseNamed[int](tk, "q")
+		if _, e := tk.AsyncNamed("t2", func(t2 *Task) error {
+			if _, e := p.Get(t2); e != nil {
+				return e
+			}
+			return q.Set(t2, 0)
+		}, q); e != nil {
+			return e
+		}
+		if _, e := q.Get(tk); e != nil {
+			return e
+		}
+		return p.Set(tk, 0)
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if err := rt.TraceClose(); err != nil {
+		t.Fatal(err)
+	}
+	rep := trace.Verify(mem.Snapshot())
+	if !rep.Consistent() {
+		t.Fatalf("deadlock trace inconsistent: %v", rep.Problems)
+	}
+	if rep.Deadlocks != 1 {
+		t.Fatalf("deadlock alarms = %d, want 1", rep.Deadlocks)
+	}
+	for _, a := range rep.Alarms {
+		if a.Class == trace.AlarmDeadlock && (!a.CycleVerified || a.CycleLen != 2) {
+			t.Fatalf("cycle not re-verified offline: %+v", a)
+		}
+	}
+	if d := rt.Stats().EventsDropped; d != 0 {
+		t.Fatalf("EventsDropped = %d, want 0", d)
+	}
+}
+
 func TestEventKindStrings(t *testing.T) {
-	kinds := []EventKind{EvNewPromise, EvMove, EvSet, EvSetError, EvBlock, EvWake, EvTaskStart, EvTaskEnd, EvAlarm, EventKind(99)}
+	kinds := []EventKind{EvNewPromise, EvMove, EvSet, EvSetError, EvBlock, EvWake, EvTaskStart, EvTaskEnd, EvAlarm,
+		trace.KindGap, trace.KindMeta, trace.KindRunEnd, EventKind(99)}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

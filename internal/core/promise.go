@@ -84,18 +84,6 @@ func (s *pstate) displayLabel() string {
 	return fmt.Sprintf("promise-%d", s.id)
 }
 
-// completeError fulfils the promise exceptionally on behalf of the runtime
-// (omitted-set cascade). It reports whether this call won the completion.
-func (s *pstate) completeError(err error) bool {
-	if !s.claim() {
-		return false
-	}
-	s.owner.Store(nil)
-	s.err = err
-	s.publish()
-	return true
-}
-
 // AnyPromise is the payload-independent view of a promise. Every
 // *Promise[T] implements it; the Movable interface and all diagnostics
 // (omitted-set blame, deadlock cycles, snapshots) are expressed in terms
@@ -145,8 +133,8 @@ func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
 		p.s.owner.Store(t)
 		t.noteOwned(p)
 	}
-	if r.trace != nil {
-		r.trace.addPromise(p)
+	if r.registry != nil {
+		r.registry.addPromise(p)
 	}
 	if r.events != nil {
 		r.logEvent(EvNewPromise, t, &p.s, "")
@@ -208,6 +196,12 @@ func awaitState(t *Task, s *pstate) error {
 		if r.detector == DetectGlobalLock {
 			if err := r.gdet.beforeWait(t, s); err != nil {
 				r.alarm(err)
+				// The wait is abandoned, not satisfied: the trace closes
+				// the block/wake pair with an explicit "alarm" wake so the
+				// offline replay does not see a task blocked forever.
+				if r.events != nil {
+					r.logEvent(EvWake, t, s, "alarm")
+				}
 				return err
 			}
 			<-s.wake.wait()
@@ -218,9 +212,15 @@ func awaitState(t *Task, s *pstate) error {
 			return nil
 		}
 		// Algorithm 2: publish the waits-for edge, then verify the
-		// dependence chain before committing to block.
+		// dependence chain before committing to block. The EvBlock above
+		// is deliberately logged BEFORE verification: the edge must be in
+		// the stream ahead of any alarm that traverses it, so the offline
+		// verifier can re-walk the cycle at the alarm's sequence point.
 		if err := t.verifyAwait(s); err != nil {
 			r.alarm(err)
+			if r.events != nil {
+				r.logEvent(EvWake, t, s, "alarm")
+			}
 			return err
 		}
 		<-s.wake.wait()
@@ -355,10 +355,14 @@ func (p *Promise[T]) Set(t *Task, v T) error {
 		return err
 	}
 	p.value = v
-	p.s.publish()
+	// Logged between the payload write and publish: a consumer can only
+	// wake after publish, whose sequence fetch follows this one, so the
+	// trace always shows set-before-wake — the invariant the offline
+	// verifier (cmd/tracecheck) checks on every wake.
 	if r := t.rt; r.events != nil {
 		r.logEvent(EvSet, t, &p.s, "")
 	}
+	p.s.publish()
 	return nil
 }
 
@@ -374,10 +378,11 @@ func (p *Promise[T]) SetError(t *Task, err error) error {
 		return e
 	}
 	p.s.err = err
-	p.s.publish()
+	// Sequenced before publish for the same reason as in Set.
 	if r := t.rt; r.events != nil {
 		r.logEvent(EvSetError, t, &p.s, err.Error())
 	}
+	p.s.publish()
 	return nil
 }
 
@@ -421,8 +426,8 @@ func (p *Promise[T]) beginSet(t *Task) error {
 		// momentarily.
 		s.owner.Store(nil)
 		t.noteDischarged(p)
-		if r.trace != nil {
-			r.trace.removePromise(s.id)
+		if r.registry != nil {
+			r.registry.removePromise(s.id)
 		}
 		return nil
 	}
@@ -431,8 +436,8 @@ func (p *Promise[T]) beginSet(t *Task) error {
 		r.alarm(err)
 		return err
 	}
-	if r.trace != nil {
-		r.trace.removePromise(s.id)
+	if r.registry != nil {
+		r.registry.removePromise(s.id)
 	}
 	return nil
 }

@@ -2,9 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Mode selects how much of the paper's machinery is active.
@@ -50,6 +53,19 @@ const (
 	DetectGlobalLock
 )
 
+// String returns the detector name used in benchmark output and trace
+// metadata.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectLockFree:
+		return "lockfree"
+	case DetectGlobalLock:
+		return "globallock"
+	default:
+		return "unknown"
+	}
+}
+
 // OwnedTracking selects the representation of a task's owned set (§6.2).
 type OwnedTracking uint8
 
@@ -73,6 +89,21 @@ const (
 	// reports carry no blame beyond the task and no cascade is possible.
 	TrackCounter
 )
+
+// String returns the tracking name used in benchmark output and trace
+// metadata.
+func (k OwnedTracking) String() string {
+	switch k {
+	case TrackList:
+		return "list"
+	case TrackListLazy:
+		return "lazy"
+	case TrackCounter:
+		return "counter"
+	default:
+		return "unknown"
+	}
+}
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -143,13 +174,14 @@ func WithIdleWatch(onQuiescent func(liveTasks int)) Option {
 
 // WithTracing enables the live task/promise registry used by Snapshot and
 // DOT export. It takes a global lock on creation/termination paths, so it
-// is a debugging aid, not for benchmarking.
+// is a debugging aid, not for benchmarking. (For scalable event tracing,
+// see WithEventLog and TraceTo, which are lock-free on the hot path.)
 func WithTracing(on bool) Option {
 	return func(r *Runtime) {
 		if on {
-			r.trace = newTraceRegistry()
+			r.registry = newTraceRegistry()
 		} else {
-			r.trace = nil
+			r.registry = nil
 		}
 	}
 }
@@ -159,6 +191,10 @@ type Stats struct {
 	Tasks int64 // tasks spawned (always counted)
 	Gets  int64 // Get operations (only with WithEventCounting)
 	Sets  int64 // Set/SetError operations (only with WithEventCounting)
+	// EventsDropped counts trace events lost to collector overflow.
+	// Always 0 when tracing is off, and 0 on any healthy traced run —
+	// the tier-1 tests assert exactly that.
+	EventsDropped int64
 }
 
 // Runtime owns a family of tasks and promises and enforces the configured
@@ -172,10 +208,10 @@ type Runtime struct {
 	onAlarm     func(error)
 	exec        func(func()) // nil selects the built-in goroutine-per-task start
 	taskPool    *sync.Pool
-	trace       *traceRegistry
+	registry    *traceRegistry
 	gdet        *globalDetector
 	idle        *idleWatch
-	events      *eventLog
+	events      *tracer
 
 	wg sync.WaitGroup
 
@@ -204,6 +240,9 @@ func NewRuntime(opts ...Option) *Runtime {
 	if r.mode == Full && r.detector == DetectGlobalLock {
 		r.gdet = newGlobalDetector()
 	}
+	if r.events != nil {
+		r.startTracer()
+	}
 	return r
 }
 
@@ -218,7 +257,12 @@ func (r *Runtime) Tracking() OwnedTracking { return r.tracking }
 
 // Stats returns the cumulative event counters.
 func (r *Runtime) Stats() Stats {
-	return Stats{Tasks: r.tasks.Load(), Gets: r.gets.Load(), Sets: r.sets.Load()}
+	return Stats{
+		Tasks:         r.tasks.Load(),
+		Gets:          r.gets.Load(),
+		Sets:          r.sets.Load(),
+		EventsDropped: int64(r.EventsDropped()),
+	}
 }
 
 // Run executes main as the root task and blocks until every task spawned
@@ -230,10 +274,25 @@ func (r *Runtime) Stats() Stats {
 // program never terminates and Run never returns; use RunWithTimeout to
 // demonstrate that behaviour safely.
 func (r *Runtime) Run(main TaskFunc) error {
+	if r.events != nil {
+		// The configuration meta record lets the offline verifier know
+		// which policy checks were active when it replays the trace.
+		r.logEvent(trace.KindMeta, nil, nil,
+			fmt.Sprintf("mode=%s detector=%s tracking=%s", r.mode, r.detector, r.tracking))
+	}
 	root := r.newTask("main", nil)
 	r.startTask(root, main)
 	r.wg.Wait()
-	return r.Err()
+	err := r.Err()
+	if r.events != nil {
+		r.mu.Lock()
+		n := len(r.errs)
+		r.mu.Unlock()
+		// run-end marks a fully unwound program; its absence from a
+		// trace means the run hung or was cut short.
+		r.logEventArg(trace.KindRunEnd, nil, nil, uint64(n), "")
+	}
+	return err
 }
 
 // RunWithTimeout is Run with a deadline. If the program does not finish in
@@ -279,7 +338,7 @@ func (r *Runtime) record(err error) {
 
 func (r *Runtime) alarm(err error) {
 	if r.events != nil {
-		r.logEvent(EvAlarm, nil, nil, err.Error())
+		r.logAlarm(err)
 	}
 	if r.onAlarm != nil {
 		r.onAlarm(err)

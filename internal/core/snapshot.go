@@ -57,19 +57,19 @@ type SnapshotNode struct {
 // it is taken without stopping the world, so it may be internally
 // inconsistent for promises in motion — use it for debugging, not proofs.
 func (r *Runtime) Snapshot() []SnapshotNode {
-	if r.trace == nil {
+	if r.registry == nil {
 		return nil
 	}
-	r.trace.mu.Lock()
-	tasks := make([]*Task, 0, len(r.trace.tasks))
-	for _, t := range r.trace.tasks {
+	r.registry.mu.Lock()
+	tasks := make([]*Task, 0, len(r.registry.tasks))
+	for _, t := range r.registry.tasks {
 		tasks = append(tasks, t)
 	}
-	proms := make([]AnyPromise, 0, len(r.trace.proms))
-	for _, p := range r.trace.proms {
+	proms := make([]AnyPromise, 0, len(r.registry.proms))
+	for _, p := range r.registry.proms {
 		proms = append(proms, p)
 	}
-	r.trace.mu.Unlock()
+	r.registry.mu.Unlock()
 
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].id < tasks[j].id })
 	ownedBy := make(map[uint64][]string)

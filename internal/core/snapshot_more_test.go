@@ -23,9 +23,9 @@ func TestSnapshotCleansUpInUnverifiedMode(t *testing.T) {
 			t.Fatalf("registry retains promises after fulfilment: %+v", n)
 		}
 	}
-	rt.trace.mu.Lock()
-	live := len(rt.trace.proms)
-	rt.trace.mu.Unlock()
+	rt.registry.mu.Lock()
+	live := len(rt.registry.proms)
+	rt.registry.mu.Unlock()
 	if live != 0 {
 		t.Fatalf("%d promises still registered after completion", live)
 	}

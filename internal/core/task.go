@@ -201,7 +201,9 @@ func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
 			t.noteDischarged(ap)
 			child.noteOwned(ap)
 			if r.events != nil {
-				r.logEvent(EvMove, t, s, "to "+child.displayName())
+				// Arg carries the destination task ID so the offline
+				// verifier can track ownership without parsing the detail.
+				r.logEventArg(EvMove, t, s, child.id, "to "+child.displayName())
 			}
 		}
 	}
@@ -245,8 +247,8 @@ func (r *Runtime) newTask(name string, parent *Task) *Task {
 		t = &Task{}
 	}
 	t.rt, t.id, t.name, t.parent = r, id, name, parent
-	if r.trace != nil {
-		r.trace.addTask(t)
+	if r.registry != nil {
+		r.registry.addTask(t)
 	}
 	return t
 }
@@ -281,7 +283,11 @@ func (r *Runtime) startTask(t *Task, f TaskFunc) {
 		r.idle.taskStarted()
 	}
 	if r.events != nil {
-		r.logEvent(EvTaskStart, t, nil, "")
+		var parent uint64
+		if t.parent != nil {
+			parent = t.parent.id
+		}
+		r.logEventArg(EvTaskStart, t, nil, parent, "")
 	}
 	if r.exec == nil {
 		go r.runTask(t, f)
@@ -308,8 +314,8 @@ func (r *Runtime) runTask(t *Task, f TaskFunc) {
 		}
 		r.logEvent(EvTaskEnd, t, nil, detail)
 	}
-	if r.trace != nil {
-		r.trace.removeTask(t.id)
+	if r.registry != nil {
+		r.registry.removeTask(t.id)
 	}
 	if err != nil {
 		r.record(err)
@@ -345,15 +351,25 @@ func (r *Runtime) finishTask(t *Task, err error) error {
 	}
 	for _, ap := range leaked {
 		s := ap.state()
-		s.completeError(&BrokenPromiseError{
-			PromiseID:    s.id,
-			PromiseLabel: s.displayLabel(),
-			TaskID:       t.id,
-			TaskName:     t.displayName(),
-			Cause:        cause,
-		})
-		if r.trace != nil {
-			r.trace.removePromise(s.id)
+		if s.claim() {
+			s.owner.Store(nil)
+			s.err = &BrokenPromiseError{
+				PromiseID:    s.id,
+				PromiseLabel: s.displayLabel(),
+				TaskID:       t.id,
+				TaskName:     t.displayName(),
+				Cause:        cause,
+			}
+			// Logged between the payload write and publish, like Set: the
+			// cascade completion must be sequenced before any wake it
+			// causes, so the offline replay sees set-before-wake.
+			if r.events != nil {
+				r.logEvent(EvSetError, t, s, "cascade")
+			}
+			s.publish()
+		}
+		if r.registry != nil {
+			r.registry.removePromise(s.id)
 		}
 	}
 	return joinErrs(err, om)

@@ -2,10 +2,12 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Micro is one fast-path microbenchmark measurement: promise and spawn
@@ -113,23 +115,40 @@ func SpawnFixture(t *core.Task) (func(int) error, error) {
 }
 
 // MeasureMicros runs the fast-path microbenchmarks — fulfilled-promise
-// Get, Set/Get round-trip, spawn+join with one moved promise, and the
-// pooled-spawn variant — across the requested modes.
+// Get, Set/Get round-trip, spawn+join with one moved promise, the
+// pooled-spawn variant, and the Set/Get round-trip with binary tracing
+// active — across the requested modes. Options are built per
+// measurement so stateful fixtures (the trace sink) are never shared
+// between runtimes.
 func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 	var out []Micro
 	for _, mode := range modes {
 		for _, bench := range []struct {
 			name  string
 			iters int
-			opts  []core.Option
+			opts  func() []core.Option
 			setup func(t *core.Task) (func(int) error, error)
 		}{
 			{"fulfilled-get", microIters, nil, FulfilledGetFixture},
 			{"setget", microIters, nil, SetGetFixture},
 			{"spawn", microIters / 4, nil, SpawnFixture},
-			{"spawn-pooled", microIters / 4, []core.Option{core.WithTaskPooling(true)}, SpawnFixture},
+			{"spawn-pooled", microIters / 4, func() []core.Option {
+				return []core.Option{core.WithTaskPooling(true)}
+			}, SpawnFixture},
+			// The trace-overhead row: the same Set/Get round-trip with every
+			// event streamed through the lock-free collector and the binary
+			// encoder (the encoding happens on the background drain
+			// goroutine, so the figure includes its allocations — that is
+			// the honest whole-subsystem cost per operation).
+			{"setget-traced", microIters, func() []core.Option {
+				return []core.Option{core.TraceTo(trace.NewWriterSink(io.Discard))}
+			}, SetGetFixture},
 		} {
-			m, err := measureMicro(bench.name, mode, bench.iters, bench.opts, bench.setup)
+			var opts []core.Option
+			if bench.opts != nil {
+				opts = bench.opts()
+			}
+			m, err := measureMicro(bench.name, mode, bench.iters, opts, bench.setup)
 			if err != nil {
 				return nil, err
 			}

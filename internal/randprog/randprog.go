@@ -19,23 +19,53 @@
 package randprog
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/core"
 )
 
 // Config parameterizes program generation. The zero value is not valid;
-// use DefaultConfig as a starting point.
+// use DefaultConfig as a starting point. A Config round-trips through
+// JSON (MetaJSON / ConfigFromMeta), which is how cmd/promisefuzz embeds
+// the generating configuration in a recorded trace so the exact program
+// can be regenerated for replay.
 type Config struct {
-	Seed      int64
-	Tasks     int     // number of tasks in the spawn tree (>= 1)
-	Branch    int     // fixed branching factor; 0 = random parents
-	Promises  int     // number of promises distributed over the tree
-	MaxAwaits int     // maximum random awaits per task
-	AwaitProb float64 // probability that a task performs awaits at all
-	Work      int     // busy-work iterations per task (simulated compute)
-	CycleLen  int     // 0 = clean program; >= 1 injects a deadlock ring
+	Seed      int64   `json:"seed"`
+	Tasks     int     `json:"tasks"`      // number of tasks in the spawn tree (>= 1)
+	Branch    int     `json:"branch"`     // fixed branching factor; 0 = random parents
+	Promises  int     `json:"promises"`   // number of promises distributed over the tree
+	MaxAwaits int     `json:"max_awaits"` // maximum random awaits per task
+	AwaitProb float64 `json:"await_prob"` // probability that a task performs awaits at all
+	Work      int     `json:"work"`       // busy-work iterations per task (simulated compute)
+	CycleLen  int     `json:"cycle_len"`  // 0 = clean program; >= 1 injects a deadlock ring
+}
+
+// metaPrefix tags a trace meta record as a randprog fingerprint.
+const metaPrefix = "randprog:"
+
+// MetaJSON renders the configuration as a trace meta record
+// ("randprog:{...}"): write it to the trace sink before the run, and the
+// trace alone suffices to regenerate the program for replay.
+func (c Config) MetaJSON() string {
+	b, _ := json.Marshal(c) // plain struct of scalars: cannot fail
+	return metaPrefix + string(b)
+}
+
+// ConfigFromMeta parses a "randprog:{...}" meta record back into a
+// Config. The second result is false when s is not a randprog record.
+func ConfigFromMeta(s string) (Config, bool, error) {
+	rest, ok := strings.CutPrefix(s, metaPrefix)
+	if !ok {
+		return Config{}, false, nil
+	}
+	var c Config
+	if err := json.Unmarshal([]byte(rest), &c); err != nil {
+		return Config{}, true, fmt.Errorf("randprog: bad meta record: %w", err)
+	}
+	return c, true, nil
 }
 
 // DefaultConfig returns a moderate configuration resembling the paper's

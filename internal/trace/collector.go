@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Collector. The zero value selects defaults.
+type Options struct {
+	// Shards is the number of writer lanes (rounded up to a power of
+	// two). 0 selects GOMAXPROCS, capped at 32. Events are laned by task
+	// ID, so the per-task stream stays in one shard.
+	Shards int
+	// RetireRing is the capacity, in chunks, of the retired-chunk
+	// hand-off ring. 0 selects 256 (64 Ki events buffered). When the ring
+	// overflows the oldest retired chunk is dropped and counted.
+	RetireRing int
+	// Manual disables the background drain goroutine; retired chunks are
+	// then drained only by Flush and Close. Used by tests that need a
+	// deterministic overflow, and by recorders that flush at known
+	// points.
+	Manual bool
+	// Sinks receive the drained batches. Batches are sorted by Seq
+	// within themselves; the stream across batches is near-sorted (see
+	// SortBySeq).
+	Sinks []Sink
+}
+
+// Collector is the lock-free sharded event collector: writers Emit
+// concurrently with one atomic sequence fetch, one slot reservation, and
+// one publishing store — never a lock, never a block. A background
+// goroutine (lazily started on the first chunk retirement) drains
+// retired chunks into the configured sinks in Seq-sorted batches.
+type Collector struct {
+	seq     atomic.Uint64 // the global sequence counter: the total order
+	dropped atomic.Uint64 // events lost to retire-ring overflow
+	gap     atomic.Uint64 // dropped events not yet materialized as a gap record
+
+	mask   uint64
+	shards []shard
+	ring   retireRing
+
+	notify   chan struct{}
+	stop     chan struct{}
+	stopped  chan struct{}
+	manual   bool
+	started  atomic.Bool
+	shutdown atomic.Bool // set by Close: late Emits are counted, not stored
+
+	startOnce sync.Once
+	closeOnce sync.Once
+
+	mu     sync.Mutex // serializes drains and sink access
+	sinks  []Sink
+	err    error
+	closed bool
+}
+
+// New creates a collector delivering to opts.Sinks.
+func New(opts Options) *Collector {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 32 {
+			n = 32
+		}
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	ringCap := opts.RetireRing
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	c := &Collector{
+		mask:    uint64(shards - 1),
+		shards:  make([]shard, shards),
+		notify:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		manual:  opts.Manual,
+		sinks:   append([]Sink(nil), opts.Sinks...),
+	}
+	c.ring.slots = make([]atomic.Pointer[chunk], ringCap)
+	return c
+}
+
+// Emit records one event, assigning its global sequence number. Safe for
+// any number of concurrent callers; the hot path is three atomic
+// operations (sequence fetch, slot reservation, publishing store) plus
+// the field writes — no locks, and no allocation except when a 256-event
+// chunk fills and its replacement is allocated.
+func (c *Collector) Emit(e Event) {
+	if c.shutdown.Load() {
+		// Emitting after Close is a contract violation (see TraceClose).
+		// The accounting here and at retirement is best-effort, not a
+		// guarantee: a writer parked across the entire Close (past the
+		// flag store, the final drain, and the ring sweep) can still
+		// park events in a chunk nobody reads or counts. The contract —
+		// quiesce before Close — is what rules that out; these checks
+		// only turn the common misuses into counted drops.
+		c.dropped.Add(1)
+		return
+	}
+	e.Seq = c.seq.Add(1)
+	sh := &c.shards[e.TaskID&c.mask]
+	for {
+		ch := sh.cur.Load()
+		if ch == nil {
+			sh.cur.CompareAndSwap(nil, new(chunk))
+			continue
+		}
+		i := ch.alloc.Add(1) - 1
+		if i < chunkEvents {
+			s := &ch.slots[i]
+			s.ev = e
+			s.seq.Store(e.Seq) // release: publishes s.ev to the collector
+			if i == chunkEvents-1 {
+				c.retire(sh, ch) // eager hand-off of the now-full chunk
+			}
+			return
+		}
+		// Chunk full and our reservation overflowed: retire it (one
+		// writer wins the swap) and retry on the fresh chunk.
+		c.retire(sh, ch)
+	}
+}
+
+// retire swaps a fresh chunk into the shard and hands the full one to
+// the collector. Exactly one caller wins the CAS per chunk; losers just
+// reload.
+func (c *Collector) retire(sh *shard, ch *chunk) {
+	if sh.cur.Load() != ch {
+		return // already retired by another writer
+	}
+	if !sh.cur.CompareAndSwap(ch, new(chunk)) {
+		return
+	}
+	if c.shutdown.Load() {
+		// Nobody will drain a chunk retired after Close: count it
+		// instead of parking it in the ring as a silent loss.
+		c.countDropped(ch)
+		return
+	}
+	c.ring.push(ch, c.countDropped)
+	if !c.manual {
+		c.startOnce.Do(func() {
+			if c.shutdown.Load() {
+				return // Close already ran; don't start an undrainable loop
+			}
+			c.started.Store(true)
+			go c.loop()
+		})
+		select {
+		case c.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// countDropped accounts a chunk lost to ring overflow: its undelivered
+// events are added to the dropped total and to the pending gap, which
+// the next delivered batch materializes as a KindGap record. The
+// drained read may lag a concurrent Flush that is mid-peek on this
+// chunk, in which case events that were in fact delivered are counted
+// as dropped too — an over-count, deliberately erring in the safe
+// direction: a trace is never reported more complete than it is.
+func (c *Collector) countDropped(ch *chunk) {
+	n := uint64(ch.published() - ch.drained.Load())
+	if n == 0 {
+		return
+	}
+	c.dropped.Add(n)
+	c.gap.Add(n)
+}
+
+// loop is the background collector: it drains retired chunks whenever a
+// writer retires one, and exits at Close.
+func (c *Collector) loop() {
+	defer close(c.stopped)
+	for {
+		select {
+		case <-c.notify:
+			c.mu.Lock()
+			c.drainRetiredLocked()
+			c.mu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// drainRetiredLocked delivers every retired chunk. Caller holds c.mu.
+func (c *Collector) drainRetiredLocked() {
+	for {
+		ch := c.ring.pop()
+		if ch == nil {
+			return
+		}
+		c.deliverChunkLocked(ch)
+	}
+}
+
+// deliverChunkLocked collects a chunk's published-but-undelivered slots
+// into one batch and hands it to the sinks. The spin on an unpublished
+// slot covers a writer between its reservation and its publishing store;
+// it is bounded by that writer's next few instructions.
+func (c *Collector) deliverChunkLocked(ch *chunk) {
+	n := ch.published()
+	start := ch.drained.Load()
+	if start >= n {
+		return
+	}
+	batch := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		s := &ch.slots[i]
+		for s.seq.Load() == 0 {
+			runtime.Gosched()
+		}
+		batch = append(batch, s.ev)
+	}
+	ch.drained.Store(n)
+	c.deliverLocked(batch)
+}
+
+// deliverLocked materializes any pending gap record, sorts the batch,
+// and writes it to every sink, remembering the first sink error. A nil
+// batch still delivers a pending gap (the Flush/Close path uses that to
+// record drops that were never followed by a surviving chunk).
+func (c *Collector) deliverLocked(batch []Event) {
+	if g := c.gap.Swap(0); g > 0 {
+		batch = append(batch, Event{
+			Seq:    c.seq.Add(1),
+			Kind:   KindGap,
+			Arg:    g,
+			Detail: fmt.Sprintf("%d events dropped (collector overflow)", g),
+		})
+	}
+	if len(batch) == 0 {
+		return
+	}
+	if c.closed {
+		// The sinks are gone; a batch surfacing now (a straggler chunk
+		// drained by a late Flush) is lost — but counted, never silent.
+		c.dropped.Add(uint64(len(batch)))
+		return
+	}
+	SortBySeq(batch)
+	for _, s := range c.sinks {
+		if err := s.WriteEvents(batch); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+}
+
+// Flush synchronously drains everything recorded so far — retired chunks
+// and the published prefix of every shard's current chunk — into the
+// sinks. It is precise once writers are quiescent (e.g. after
+// Runtime.Run returns); mid-run it is advisory: events being written
+// concurrently may or may not be included, but nothing is lost or
+// duplicated. It returns the first sink error, if any.
+func (c *Collector) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.flushLocked()
+	}
+	return c.err
+}
+
+func (c *Collector) flushLocked() {
+	c.drainRetiredLocked()
+	for i := range c.shards {
+		if ch := c.shards[i].cur.Load(); ch != nil {
+			c.deliverChunkLocked(ch)
+		}
+	}
+	// A gap with no following batch (everything after the drop was also
+	// dropped) still must reach the stream.
+	c.deliverLocked(nil)
+}
+
+// Close stops the background goroutine, performs a final drain, and
+// closes every sink. Idempotent; returns the first recorded error.
+func (c *Collector) Close() error {
+	c.closeOnce.Do(func() {
+		c.shutdown.Store(true)
+		// stop is closed unconditionally: a drain loop whose lazy start
+		// raced this Close (retire passed the shutdown check, spawned
+		// after the started.Load below) then exits on its first select
+		// instead of leaking. The wait is only for a loop known started.
+		close(c.stop)
+		if c.started.Load() {
+			<-c.stopped
+		}
+		c.mu.Lock()
+		c.flushLocked()
+		// Sweep the ring for stranded chunks: a pusher preempted between
+		// its tail reservation and its slot store, whose index a dropper
+		// then claimed (swapping nil and counting nothing), leaves its
+		// chunk in a slot the head has already passed. Writers are
+		// quiescent at Close and the drain loop is stopped, so every
+		// remaining non-nil slot is such a strand — deliver it (readers
+		// order by Seq) rather than lose it silently.
+		for i := range c.ring.slots {
+			if ch := c.ring.slots[i].Swap(nil); ch != nil {
+				c.deliverChunkLocked(ch)
+			}
+		}
+		for _, s := range c.sinks {
+			if err := s.Close(); err != nil && c.err == nil {
+				c.err = err
+			}
+		}
+		c.closed = true
+		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Dropped returns the number of events lost to retired-ring overflow.
+// Zero means the trace is complete.
+func (c *Collector) Dropped() uint64 { return c.dropped.Load() }
+
+// Err returns the first sink error encountered while delivering.
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

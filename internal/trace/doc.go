@@ -1,0 +1,38 @@
+// Package trace is the runtime's scalable tracing subsystem: a
+// lock-free, sharded event collector, a compact binary trace format, and
+// an offline verifier that re-derives the detector's verdict from the
+// trace alone.
+//
+// The subsystem replaces the seed's single mutex-guarded event ring with
+// three cooperating pieces:
+//
+//   - Collector (collector.go, ring.go): writers append events to
+//     per-shard fixed-size chunks with one atomic reservation and one
+//     atomic publish — no locks, no channels on the hot path. Full
+//     chunks are retired onto a bounded lock-free ring drained by a
+//     background goroutine; if the drainer falls behind, the oldest
+//     retired chunk is dropped (counted, and marked in the stream with a
+//     KindGap record) rather than ever blocking a writer.
+//
+//   - Binary format (encode.go, sink.go): events are varint-packed
+//     records behind a Sink interface. MemSink retains events in memory
+//     (optionally bounded, for the runtime's post-mortem event log),
+//     WriterSink/FileSink stream the binary encoding. Records carry the
+//     global sequence number assigned at emission, so total order is a
+//     property of the Seq field, not of byte order: batches arrive
+//     near-sorted and readers sort by Seq.
+//
+//   - Offline verifier (verify.go): Verify replays a decoded event
+//     stream through a model of the ownership policy and reconstructs
+//     the waits-for graph, independently checking every alarm — a
+//     deadlock alarm must correspond to a real cycle in the reconstructed
+//     graph, an omitted-set alarm must name a task that still owns
+//     unfulfilled promises and must precede that task's KindTaskEnd —
+//     and that clean terminated runs are cycle-free and fully unwound.
+//     cmd/tracecheck is the command-line entry point.
+//
+// The package deliberately does not import internal/core: core depends
+// on trace (it emits events through a Collector), and the verifier
+// depends only on the recorded stream, which is what makes its verdict
+// independent of the in-process detector.
+package trace

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The binary trace format: a 5-byte header ("PTRC" + format version)
+// followed by varint-packed records until EOF.
+//
+//	record := kind(1 byte)
+//	          uvarint(seq) uvarint(taskID) uvarint(promiseID) uvarint(arg)
+//	          str(taskName) str(promiseLabel) str(detail)
+//	str    := uvarint(len) bytes
+//
+// Records carry absolute sequence numbers, so a stream remains decodable
+// and totally orderable regardless of the batch interleaving the
+// collector produced. Default task/promise names are stored as empty
+// strings and re-rendered on display, which keeps hot-path emission free
+// of Sprintf and the common record under ~10 bytes.
+
+const formatVersion = 1
+
+var magic = [4]byte{'P', 'T', 'R', 'C'}
+
+// maxStringLen bounds decoded strings so a corrupt or hostile stream
+// cannot ask for an absurd allocation.
+const maxStringLen = 1 << 24
+
+// ErrBadHeader is returned when a stream does not start with the trace
+// magic or carries an unknown format version.
+var ErrBadHeader = errors.New("trace: bad header (not a trace stream, or unknown version)")
+
+// AppendEvent appends the binary encoding of e to buf and returns the
+// extended slice.
+func AppendEvent(buf []byte, e Event) []byte {
+	buf = append(buf, byte(e.Kind))
+	buf = binary.AppendUvarint(buf, e.Seq)
+	buf = binary.AppendUvarint(buf, e.TaskID)
+	buf = binary.AppendUvarint(buf, e.PromiseID)
+	buf = binary.AppendUvarint(buf, e.Arg)
+	buf = appendString(buf, e.TaskName)
+	buf = appendString(buf, e.PromiseLabel)
+	buf = appendString(buf, e.Detail)
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendHeader appends the stream header to buf.
+func AppendHeader(buf []byte) []byte {
+	return append(append(buf, magic[:]...), formatVersion)
+}
+
+// Decoder reads events from a binary trace stream.
+type Decoder struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewDecoder wraps r. The header is consumed by the first Decode call.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode returns the next event, or io.EOF at a clean end of stream.
+func (d *Decoder) Decode() (Event, error) {
+	var e Event
+	if !d.header {
+		var h [5]byte
+		if _, err := io.ReadFull(d.r, h[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				err = ErrBadHeader
+			}
+			return e, err
+		}
+		if [4]byte(h[:4]) != magic || h[4] != formatVersion {
+			return e, ErrBadHeader
+		}
+		d.header = true
+	}
+	kind, err := d.r.ReadByte()
+	if err != nil {
+		return e, err // io.EOF here is the clean end of stream
+	}
+	e.Kind = Kind(kind)
+	// Field reads are unrolled (no pointer slices into e) so decoding a
+	// record stays allocation-free beyond its strings.
+	if e.Seq, err = binary.ReadUvarint(d.r); err != nil {
+		return e, truncated(err)
+	}
+	if e.TaskID, err = binary.ReadUvarint(d.r); err != nil {
+		return e, truncated(err)
+	}
+	if e.PromiseID, err = binary.ReadUvarint(d.r); err != nil {
+		return e, truncated(err)
+	}
+	if e.Arg, err = binary.ReadUvarint(d.r); err != nil {
+		return e, truncated(err)
+	}
+	if e.TaskName, err = d.readString(); err != nil {
+		return e, truncated(err)
+	}
+	if e.PromiseLabel, err = d.readString(); err != nil {
+		return e, truncated(err)
+	}
+	if e.Detail, err = d.readString(); err != nil {
+		return e, truncated(err)
+	}
+	return e, nil
+}
+
+func (d *Decoder) readString() (string, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("trace: string length %d exceeds limit", n)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// truncated converts a mid-record EOF into an explicit error: EOF is
+// clean only between records.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errors.New("trace: truncated record")
+	}
+	return err
+}
+
+// ReadAll decodes an entire stream and returns the events sorted into
+// total (Seq) order.
+func ReadAll(r io.Reader) ([]Event, error) {
+	d := NewDecoder(r)
+	var out []Event
+	for {
+		e, err := d.Decode()
+		if err == io.EOF {
+			SortBySeq(out)
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadFile decodes the trace file at path into Seq-sorted events.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := ReadAll(f)
+	if err != nil {
+		return evs, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return evs, nil
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomEvent draws an event with adversarial field values: zero and
+// maximal integers, empty, unicode, and long strings.
+func randomEvent(rng *rand.Rand) Event {
+	str := func() string {
+		switch rng.Intn(5) {
+		case 0:
+			return ""
+		case 1:
+			return "worker"
+		case 2:
+			return "héllo-wörld-§5.1-⇒"
+		case 3:
+			return strings.Repeat("x", rng.Intn(2000))
+		default:
+			b := make([]byte, rng.Intn(40))
+			rng.Read(b)
+			return string(b) // arbitrary bytes, not necessarily UTF-8
+		}
+	}
+	num := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return 0
+		case 1:
+			return ^uint64(0)
+		case 2:
+			return uint64(rng.Intn(1000))
+		default:
+			return rng.Uint64()
+		}
+	}
+	return Event{
+		Seq:          num(),
+		Kind:         Kind(rng.Intn(int(KindRunEnd) + 2)), // includes one unknown kind
+		TaskID:       num(),
+		PromiseID:    num(),
+		Arg:          num(),
+		TaskName:     str(),
+		PromiseLabel: str(),
+		Detail:       str(),
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the property test: any event slice
+// survives encode -> decode byte-for-byte (modulo Seq-sorting, which
+// ReadAll applies).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		in := make([]Event, n)
+		for i := range in {
+			in[i] = randomEvent(rng)
+		}
+		buf := AppendHeader(nil)
+		for _, e := range in {
+			buf = AppendEvent(buf, e)
+		}
+		out, err := ReadAll(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("seed %d: decoded %d events, want %d", seed, len(out), len(in))
+		}
+		SortBySeq(in)
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("seed %d: event %d mismatch:\n in=%+v\nout=%+v", seed, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+// TestDecoderRejectsGarbage: wrong magic, truncated records, and
+// oversized strings must error, not panic or spin.
+func TestDecoderRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadAll(bytes.NewReader([]byte("PT"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Valid header + one record, then truncate at every prefix length:
+	// must never panic, and any error must be explicit.
+	full := AppendEvent(AppendHeader(nil), Event{Seq: 7, Kind: KindSet, TaskName: "abcdef", Detail: "payload"})
+	for cut := 6; cut < len(full); cut++ { // 5 = bare header, which is a valid empty stream
+		if _, err := ReadAll(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A string length far beyond the stream must be rejected by the
+	// limit, not attempted.
+	evil := AppendHeader(nil)
+	evil = append(evil, byte(KindSet))
+	for i := 0; i < 4; i++ {
+		evil = append(evil, 0) // seq, task, promise, arg = 0
+	}
+	evil = append(evil, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // huge uvarint length
+	if _, err := ReadAll(bytes.NewReader(evil)); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+}
+
+// TestWriterSinkRoundTrip drives the sink the way a collector does —
+// batched writes — and decodes the result.
+func TestWriterSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	want := 0
+	rng := rand.New(rand.NewSource(42))
+	for b := 0; b < 10; b++ {
+		batch := make([]Event, rng.Intn(50))
+		for i := range batch {
+			batch[i] = randomEvent(rng)
+			batch[i].Seq = uint64(want + i + 1) // unique, sorted
+		}
+		want += len(batch)
+		if err := s.WriteEvents(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != want {
+		t.Fatalf("Count = %d, want %d", s.Count(), want)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != want {
+		t.Fatalf("decoded %d, want %d", len(out), want)
+	}
+}
+
+// TestEmptyStreamHasHeader: a closed sink with no events still writes a
+// decodable (empty) trace.
+func TestEmptyStreamHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty stream decoded %d events", len(out))
+	}
+}

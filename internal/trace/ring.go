@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// chunkEvents is the number of event slots per chunk. 256 keeps a chunk
+// around 32 KiB — big enough that retirement (the only cross-shard
+// operation a writer ever performs) is rare, small enough that a
+// short-lived runtime with tracing on does not hoard memory: chunks are
+// allocated lazily per shard, on first use.
+const chunkEvents = 256
+
+// slot is one event cell. The seq field doubles as the publish flag:
+// the writer fills ev and then atomically stores the (nonzero) sequence
+// number, which is the release making ev visible; the collector's
+// acquire load of seq is what licenses its plain read of ev.
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// chunk is a fixed-size block of slots with a single atomic write
+// cursor. Writers reserve a slot with alloc.Add(1); a reservation at or
+// past chunkEvents means the chunk is full and must be retired.
+//
+// drained is the number of leading slots the collector has already
+// delivered; it lets the collector peek a shard's current chunk during
+// Flush without double-delivering when the chunk later retires. Only the
+// collector (under its drain mutex) writes drained; writers read it only
+// on the drop path, to count undelivered events.
+type chunk struct {
+	alloc   atomic.Uint32
+	drained atomic.Uint32
+	slots   [chunkEvents]slot
+}
+
+// published returns the number of slots that are reserved and will be
+// (or already are) published, capped at capacity.
+func (c *chunk) published() uint32 {
+	n := c.alloc.Load()
+	if n > chunkEvents {
+		n = chunkEvents
+	}
+	return n
+}
+
+// shard is one writer lane. cur is the chunk currently accepting
+// events; it starts nil and is installed on first use. The padding keeps
+// neighbouring shards' cursors off each other's cache line.
+type shard struct {
+	cur atomic.Pointer[chunk]
+	_   [56]byte // pad to 64 bytes so shards never share a cache line
+}
+
+// retireRing is the bounded MPSC hand-off from writers (retiring full
+// chunks) to the collector. head is the next index to drain, tail the
+// next to fill; both only grow. When the ring is full a pusher drops the
+// oldest retired chunk — counted, never blocking — which is the
+// subsystem's explicit overflow policy.
+type retireRing struct {
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	slots []atomic.Pointer[chunk]
+}
+
+// push hands a retired chunk to the collector, dropping the oldest
+// retired chunk (returned via onDrop) when the ring is full.
+func (r *retireRing) push(ch *chunk, onDrop func(*chunk)) {
+	n := uint64(len(r.slots))
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() >= n {
+			// Full: drop the oldest instead of blocking. Claim its index
+			// first; the Swap may observe nil if that index's pusher has
+			// reserved but not yet stored — that chunk is then counted by
+			// the late pusher itself (see below).
+			h := r.head.Load()
+			if t-h >= n && r.head.CompareAndSwap(h, h+1) {
+				if old := r.slots[h%n].Swap(nil); old != nil {
+					onDrop(old)
+				}
+			}
+			continue
+		}
+		if r.tail.CompareAndSwap(t, t+1) {
+			// Swap, not Store: if a dropper claimed this index before our
+			// store landed, the slot reads nil to it and our chunk would be
+			// stranded when the ring laps back here — whoever finds a
+			// leftover counts it as dropped.
+			if stranded := r.slots[t%n].Swap(ch); stranded != nil {
+				onDrop(stranded)
+			}
+			return
+		}
+	}
+}
+
+// popSpinLimit bounds pop's wait for an in-flight slot store. An empty
+// claimed slot usually means its pusher is between the tail reservation
+// and the store (a few instructions away); but under sustained overflow
+// a racing dropper or a lapped pusher may have consumed the slot's chunk
+// already, in which case the slot stays nil forever and an unbounded
+// spin would livelock the collector. Past the limit the index is
+// abandoned: if the lagging store does land later, the chunk becomes a
+// strand that the next pusher at that index or the Close sweep recovers
+// (counted or delivered), so nothing is lost silently.
+const popSpinLimit = 128
+
+// pop removes the oldest retired chunk, or returns nil when the ring is
+// empty. Only the collector calls pop.
+func (r *retireRing) pop() *chunk {
+	n := uint64(len(r.slots))
+	for {
+		h := r.head.Load()
+		if h == r.tail.Load() {
+			return nil
+		}
+		if r.head.CompareAndSwap(h, h+1) {
+			for spin := 0; spin < popSpinLimit; spin++ {
+				if ch := r.slots[h%n].Swap(nil); ch != nil {
+					return ch
+				}
+				runtime.Gosched()
+			}
+			// Slot consumed by a racer (or its pusher stalled): move on.
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentEmit hammers one collector from many goroutines across
+// many chunk retirements and checks that every event survives with a
+// unique sequence number and nothing was dropped. Run under -race this
+// exercises the slot publish protocol (plain ev write ordered by the
+// atomic seq store) and concurrent chunk retirement.
+func TestConcurrentEmit(t *testing.T) {
+	mem := NewMemSink(0)
+	c := New(Options{Shards: 4, Sinks: []Sink{mem}})
+	const writers = 8
+	const perWriter = 5000 // writers * perWriter >> chunkEvents: many retirements
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Emit(Event{Kind: KindSet, TaskID: uint64(w + 1), PromiseID: uint64(i + 1)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events with an ample ring", d)
+	}
+	evs := mem.Snapshot()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("collected %d events, want %d", len(evs), writers*perWriter)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for i, e := range evs {
+		if e.Seq == 0 || seen[e.Seq] {
+			t.Fatalf("event %d has zero/duplicate seq %d", i, e.Seq)
+		}
+		seen[e.Seq] = true
+		if i > 0 && evs[i-1].Seq >= e.Seq {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+	}
+}
+
+// TestConcurrentEmitWithFlushes interleaves mid-run Flushes (which peek
+// the shards' current chunks) with concurrent writers and a concurrent
+// background drain: nothing may be lost or double-delivered.
+func TestConcurrentEmitWithFlushes(t *testing.T) {
+	mem := NewMemSink(0)
+	c := New(Options{Shards: 2, Sinks: []Sink{mem}})
+	const writers = 4
+	const perWriter = 3000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent flusher
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := c.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Emit(Event{Kind: KindBlock, TaskID: uint64(w), Arg: uint64(i)})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := mem.Snapshot()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("collected %d events, want %d (dropped=%d)", len(evs), writers*perWriter, c.Dropped())
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d delivered twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestDropOldestPolicy forces retired-ring overflow with a Manual
+// collector (no background drain) and checks the explicit policy: the
+// oldest chunks are dropped, the drop is counted, and the stream carries
+// a gap record accounting for every lost event.
+func TestDropOldestPolicy(t *testing.T) {
+	mem := NewMemSink(0)
+	c := New(Options{Shards: 1, RetireRing: 2, Manual: true, Sinks: []Sink{mem}})
+	const total = chunkEvents * 6 // 6 chunks through a 2-chunk ring
+	for i := 0; i < total; i++ {
+		c.Emit(Event{Kind: KindSet, TaskID: 1, PromiseID: uint64(i + 1)})
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dropped := c.Dropped()
+	if dropped == 0 {
+		t.Fatal("expected drops from a 2-chunk ring fed 6 chunks")
+	}
+	evs := mem.Snapshot()
+	var gapped uint64
+	gaps := 0
+	delivered := 0
+	for _, e := range evs {
+		if e.Kind == KindGap {
+			gaps++
+			gapped += e.Arg
+		} else {
+			delivered++
+		}
+	}
+	if gaps == 0 {
+		t.Fatal("drops occurred but no gap record was delivered")
+	}
+	if gapped != dropped {
+		t.Fatalf("gap records account for %d events, Dropped() = %d", gapped, dropped)
+	}
+	if uint64(delivered)+dropped != total {
+		t.Fatalf("delivered %d + dropped %d != emitted %d", delivered, dropped, total)
+	}
+	// Drop-oldest: the newest chunk's events must have survived.
+	last := evs[len(evs)-1]
+	if last.Kind == KindGap {
+		last = evs[len(evs)-2]
+	}
+	if last.PromiseID != total {
+		t.Fatalf("newest event lost (last delivered promise %d, want %d): drop policy is not drop-oldest", last.PromiseID, total)
+	}
+}
+
+// TestWrapAroundRedelivery retires many chunks through a small ring with
+// interleaved flushes: wrap-around reuse of ring slots must neither lose
+// nor duplicate chunks when the collector keeps up.
+func TestWrapAroundRedelivery(t *testing.T) {
+	mem := NewMemSink(0)
+	c := New(Options{Shards: 1, RetireRing: 2, Manual: true, Sinks: []Sink{mem}})
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < chunkEvents; i++ {
+			c.Emit(Event{Kind: KindSet, TaskID: 1, PromiseID: uint64(r*chunkEvents + i + 1)})
+		}
+		if err := c.Flush(); err != nil { // drain between rounds: ring never overflows
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events despite per-round flushes", d)
+	}
+	evs := mem.Snapshot()
+	if len(evs) != rounds*chunkEvents {
+		t.Fatalf("collected %d, want %d", len(evs), rounds*chunkEvents)
+	}
+	for i, e := range evs {
+		if e.PromiseID != uint64(i+1) {
+			t.Fatalf("event %d out of order or duplicated: promise %d", i, e.PromiseID)
+		}
+	}
+}
+
+// TestMemSinkRetention checks the bounded MemSink keeps exactly the most
+// recent events by Seq.
+func TestMemSinkRetention(t *testing.T) {
+	mem := NewMemSink(8)
+	c := New(Options{Shards: 1, Manual: true, Sinks: []Sink{mem}})
+	for i := 0; i < 1000; i++ {
+		c.Emit(Event{Kind: KindSet, TaskID: 1, PromiseID: uint64(i + 1)})
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := mem.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(1000 - 8 + i + 1); e.PromiseID != want {
+			t.Fatalf("retained[%d] = promise %d, want %d", i, e.PromiseID, want)
+		}
+	}
+}
