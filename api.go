@@ -28,6 +28,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -162,6 +163,46 @@ var (
 	ReadTraceFile = trace.ReadFile
 	// VerifyTrace replays a trace and independently re-checks its run.
 	VerifyTrace = trace.Verify
+)
+
+// Serving-layer surface (see internal/serve): many concurrent, isolated
+// runtime sessions over one shared elastic scheduler, with admission
+// control in front and per-session verdicts behind. cmd/loadgen is the
+// mixed-scenario driver built on it.
+type (
+	// Pool runs many isolated sessions on one shared scheduler.
+	Pool = serve.Pool
+	// PoolConfig configures a Pool (admission limits, base options).
+	PoolConfig = serve.Config
+	// PoolStats is the pool's aggregate accounting snapshot.
+	PoolStats = serve.PoolStats
+	// Session is one submitted program's handle.
+	Session = serve.Session
+	// Verdict classifies how a session ended.
+	Verdict = serve.Verdict
+)
+
+// Session verdicts.
+const (
+	// VerdictClean marks a session that terminated without error.
+	VerdictClean = serve.VerdictClean
+	// VerdictDeadlock marks a detected cycle.
+	VerdictDeadlock = serve.VerdictDeadlock
+	// VerdictPolicy marks an ownership-policy violation.
+	VerdictPolicy = serve.VerdictPolicy
+	// VerdictFailed marks any other failure.
+	VerdictFailed = serve.VerdictFailed
+)
+
+var (
+	// NewPool creates a serving pool with its own shared scheduler.
+	NewPool = serve.NewPool
+	// ClassifyVerdict maps a run error to its Verdict.
+	ClassifyVerdict = serve.Classify
+	// ErrPoolSaturated rejects a Submit beyond the admission limits.
+	ErrPoolSaturated = serve.ErrPoolSaturated
+	// ErrPoolClosed rejects a Submit after Pool.Close.
+	ErrPoolClosed = serve.ErrPoolClosed
 )
 
 // ErrTimeout is returned by Runtime.RunWithTimeout on a hang.

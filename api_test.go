@@ -164,3 +164,58 @@ func TestFacadeRunWithTimeout(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestFacadePool is the executable form of the quickstart README's
+// serving-layer example: isolated sessions over one shared scheduler,
+// verdicts per session, saturation as a typed error.
+func TestFacadePool(t *testing.T) {
+	pool := repro.NewPool(repro.PoolConfig{MaxSessions: 4, QueueDepth: 8})
+	clean, err := pool.Submit("clean", func(tk *repro.Task) error {
+		p := repro.NewPromise[string](tk)
+		if _, err := tk.Async(func(c *repro.Task) error { return p.Set(c, "hi") }, p); err != nil {
+			return err
+		}
+		_, err := p.Get(tk)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := pool.Submit("cycle", func(tk *repro.Task) error {
+		p := repro.NewPromise[int](tk)
+		q := repro.NewPromise[int](tk)
+		if _, err := tk.Async(func(c *repro.Task) error {
+			if _, err := p.Get(c); err != nil {
+				return err
+			}
+			return q.Set(c, 1)
+		}, q); err != nil {
+			return err
+		}
+		if _, err := q.Get(tk); err != nil {
+			return err
+		}
+		return p.Set(tk, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Wait(); err != nil || clean.Verdict() != repro.VerdictClean {
+		t.Fatalf("clean session: verdict %s err %v", clean.Verdict(), err)
+	}
+	if cycle.Wait(); cycle.Verdict() != repro.VerdictDeadlock {
+		t.Fatalf("cycle session: verdict %s err %v", cycle.Verdict(), cycle.Err())
+	}
+	if got := repro.ClassifyVerdict(cycle.Err()); got != repro.VerdictDeadlock {
+		t.Fatalf("ClassifyVerdict = %s", got)
+	}
+	pool.Close()
+	if _, err := pool.Submit("late", func(tk *repro.Task) error { return nil }); !errors.Is(err, repro.ErrPoolClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	stats := pool.Stats()
+	if stats.Completed != 2 || stats.Clean != 1 || stats.Deadlocks != 1 {
+		t.Fatalf("pool stats: %+v", stats)
+	}
+	_ = fmt.Sprintf("%s", clean.Verdict()) // verdicts render for reports
+}

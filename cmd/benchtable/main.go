@@ -19,12 +19,22 @@
 // serves as the perf trajectory baseline for later PRs. If the output
 // file already exists, its micro section is carried forward under
 // "prev_micro" so regenerating the file keeps one step of history.
+//
+// -check FILE is the CI perf-regression gate: instead of regenerating the
+// table it re-measures only the fast-path micros and compares them against
+// FILE's micro section, failing (exit 1) when any entry's ns/op regresses
+// by more than -checktol (default 25%) or its allocs/op count grows at
+// all. Each micro is measured -checkreps times and the best run is
+// compared, which suppresses scheduler noise without hiding real
+// regressions; allocation counts are deterministic, so for them best-of is
+// exact.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -53,17 +63,107 @@ type report struct {
 }
 
 func writeJSON(path string, rep report) error {
+	var oldDoc map[string]json.RawMessage
 	if prev, err := os.ReadFile(path); err == nil {
 		var old report
 		if json.Unmarshal(prev, &old) == nil {
 			rep.PrevMicro = old.Micro
 		}
+		json.Unmarshal(prev, &oldDoc)
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	buf, err := json.Marshal(rep)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	doc := map[string]json.RawMessage{}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return err
+	}
+	// Sections owned by other tools (e.g. cmd/loadgen's "serve") survive a
+	// table regeneration untouched.
+	for k, v := range oldDoc {
+		if _, ok := doc[k]; !ok {
+			doc[k] = v
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// checkMicros is the -check gate: measure the fast-path micros reps times,
+// keep each entry's best run, and compare against the baseline report's
+// micro section. Returns the number of regressions.
+func checkMicros(baseline report, reps int, tol float64) (int, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := map[string]harness.Micro{}
+	for r := 0; r < reps; r++ {
+		fmt.Fprintf(os.Stderr, "[%s] check pass %d/%d...\n", time.Now().Format("15:04:05"), r+1, reps)
+		micros, err := harness.MeasureMicros([]core.Mode{core.Unverified, core.Ownership, core.Full})
+		if err != nil {
+			return 0, err
+		}
+		for _, m := range micros {
+			key := m.Name + "/" + m.Mode
+			b, ok := best[key]
+			if !ok {
+				best[key] = m
+				continue
+			}
+			// ns/op and allocs/op take their minima independently: a pass
+			// with a slower clock can still observe the true (lower) alloc
+			// count, and discarding it would manufacture a false alloc
+			// regression.
+			if m.NsPerOp < b.NsPerOp {
+				b.NsPerOp, b.BPerOp = m.NsPerOp, m.BPerOp
+			}
+			if m.AllocsPerOp < b.AllocsPerOp {
+				b.AllocsPerOp = m.AllocsPerOp
+			}
+			best[key] = b
+		}
+	}
+	fmt.Printf("perf gate vs baseline of %s (tolerance +%.0f%% ns/op, +0 allocs/op):\n\n",
+		baseline.GeneratedAt, tol*100)
+	fmt.Printf("%-24s %-12s %10s %10s %8s %8s %8s  %s\n",
+		"micro", "mode", "base ns", "fresh ns", "delta", "base al", "fresh al", "status")
+	regressions, compared := 0, 0
+	for _, b := range baseline.Micro {
+		key := b.Name + "/" + b.Mode
+		m, ok := best[key]
+		if !ok {
+			// A micro present in the baseline but no longer measured: that
+			// is a harness change, not a perf regression; flag it visibly
+			// so the baseline gets regenerated.
+			fmt.Printf("%-24s %-12s %10.1f %10s %8s %8.0f %8s  MISSING (regenerate baseline)\n",
+				b.Name, b.Mode, b.NsPerOp, "-", "-", b.AllocsPerOp, "-")
+			regressions++
+			continue
+		}
+		compared++
+		delta := m.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if m.NsPerOp > b.NsPerOp*(1+tol) {
+			status = "TIME REGRESSION"
+			regressions++
+		}
+		// Allocation counts are integers measured with float jitter from
+		// runtime background allocations; compare rounded values.
+		if math.Round(m.AllocsPerOp) > math.Round(b.AllocsPerOp) {
+			status = "ALLOC REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-24s %-12s %10.1f %10.1f %+7.1f%% %8.0f %8.0f  %s\n",
+			b.Name, b.Mode, b.NsPerOp, m.NsPerOp, delta*100, b.AllocsPerOp, m.AllocsPerOp, status)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no comparable micro entries in the baseline")
+	}
+	return regressions, nil
 }
 
 func main() {
@@ -76,7 +176,34 @@ func main() {
 	modeFlag := flag.String("mode", "full", "verified configuration: ownership (Algorithm 1 only), full (Algorithms 1+2)")
 	detector := flag.String("detector", "lockfree", "verified detector: lockfree, globallock")
 	tracking := flag.String("tracking", "list", "owned-set tracking: list, lazy, counter")
+	check := flag.String("check", "", "regression-gate mode: compare fresh micros against this baseline JSON and exit nonzero on regression")
+	checkTol := flag.Float64("checktol", 0.25, "allowed fractional ns/op regression in -check mode")
+	checkReps := flag.Int("checkreps", 3, "measurement passes in -check mode (best run is compared)")
 	flag.Parse()
+
+	if *check != "" {
+		buf, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline report
+		if err := json.Unmarshal(buf, &baseline); err != nil || len(baseline.Micro) == 0 {
+			fmt.Fprintf(os.Stderr, "benchtable: %s is not a benchtable report with a micro section (%v)\n", *check, err)
+			os.Exit(1)
+		}
+		regressions, err := checkMicros(baseline, *checkReps, *checkTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchtable: FAIL: %d fast-path regressions vs %s\n", regressions, *check)
+			os.Exit(1)
+		}
+		fmt.Println("\nperf gate: ok")
+		return
+	}
 
 	scale := workloads.ParseScale(*scaleFlag)
 	opts := harness.DefaultOptions()

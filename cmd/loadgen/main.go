@@ -1,0 +1,415 @@
+// Command loadgen drives the multi-session serving layer (internal/serve)
+// with a mixed-scenario workload: it keeps N concurrent sessions in flight
+// over one shared scheduler, each session running a randomly drawn
+// benchmark from the internal/workloads registry, and reports per-scenario
+// throughput and latency percentiles.
+//
+// Usage:
+//
+//	loadgen [-sessions N] [-queue N] [-drivers N] [-d duration] [-mix all|spec]
+//	        [-scale small|default|paper] [-mode full|ownership|unverified]
+//	        [-detector lockfree|globallock] [-inject frac] [-seed N]
+//	        [-json file] [-v]
+//
+// -drivers sets the closed-loop submitter count; the default,
+// sessions+queue, keeps both admission tiers full without rejections,
+// while a larger value drives the ErrPoolSaturated path as well.
+//
+// -mix selects the scenario mix: "all" is every registry benchmark with
+// equal weight; otherwise a comma-separated list of names, each optionally
+// weighted ("QSort:3,Sieve:1"). -inject adds a known-deadlock scenario
+// ("Deadlock", the paper's Listing 1) with the given probability, so soak
+// runs exercise detection verdicts under load; its sessions must classify
+// as deadlock and every workload session as clean — any other outcome is a
+// detector false verdict and loadgen exits nonzero. It also exits nonzero
+// on dropped trace events or leaked goroutines after Pool.Close, so the
+// nightly soak job fails loudly.
+//
+// -json writes the report as JSON. If the target file already exists and
+// is a benchtable report (BENCH_table1.json), the report is merged in
+// under a "serve" key, leaving every other section untouched — the serve
+// row then travels with the Table-1 baseline across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// scenario is one entry of the mix: a named program factory with a weight.
+type scenario struct {
+	name   string
+	weight int
+	prog   func() core.TaskFunc
+	// wantVerdict is what every session of this scenario must classify as;
+	// anything else is a false verdict.
+	want serve.Verdict
+}
+
+// deadlockProg is the paper's Listing 1: root owns p and waits on q, the
+// child owns q and waits on p. Under Full mode the detector reports the
+// cycle the moment it closes and both waits abort, so the session
+// terminates with a DeadlockError — the expected verdict.
+func deadlockProg(root *core.Task) error {
+	p := core.NewPromiseNamed[int](root, "p")
+	q := core.NewPromiseNamed[int](root, "q")
+	if _, e := root.AsyncNamed("t2", func(t2 *core.Task) error {
+		if _, e := p.Get(t2); e != nil {
+			return e
+		}
+		return q.Set(t2, 1)
+	}, q); e != nil {
+		return e
+	}
+	if _, e := q.Get(root); e != nil {
+		return e
+	}
+	return p.Set(root, 1)
+}
+
+// parseMix builds the scenario set. spec is "all" or
+// "Name[:weight],Name[:weight],...".
+func parseMix(spec string, scale workloads.Scale) ([]scenario, error) {
+	var out []scenario
+	if spec == "all" {
+		for _, e := range workloads.All() {
+			out = append(out, scenario{name: e.Name, weight: 1, prog: e.Prog(scale), want: serve.VerdictClean})
+		}
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+			weight = w
+		}
+		if name == "Deadlock" {
+			out = append(out, scenario{name: name, weight: weight,
+				prog: func() core.TaskFunc { return deadlockProg }, want: serve.VerdictDeadlock})
+			continue
+		}
+		e, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q", name)
+		}
+		out = append(out, scenario{name: e.Name, weight: weight, prog: e.Prog(scale), want: serve.VerdictClean})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return out, nil
+}
+
+// scenarioStat accumulates one scenario's results across the run.
+type scenarioStat struct {
+	hist  *harness.Histogram
+	count int64
+	bad   int64 // sessions whose verdict differed from the scenario's expectation
+}
+
+// scenarioReport is the per-scenario row of the JSON report.
+type scenarioReport struct {
+	Name          string  `json:"name"`
+	Sessions      int64   `json:"sessions"`
+	PerSec        float64 `json:"sessions_per_sec"`
+	FalseVerdicts int64   `json:"false_verdicts"`
+	harness.HistSummary
+}
+
+// serveReport is the "serve" section written to the JSON output.
+type serveReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	Sessions    int              `json:"sessions"`
+	Queue       int              `json:"queue"`
+	Duration    string           `json:"duration"`
+	Scale       string           `json:"scale"`
+	Mode        string           `json:"mode"`
+	Detector    string           `json:"detector"`
+	Mix         string           `json:"mix"`
+	Inject      float64          `json:"inject"`
+	Scenarios   []scenarioReport `json:"scenarios"`
+	Total       scenarioReport   `json:"total"`
+	Pool        serve.PoolStats  `json:"pool"`
+}
+
+// writeJSON writes rep to path; when path holds an existing JSON object
+// (e.g. BENCH_table1.json) the report is merged in as its "serve" member.
+func writeJSON(path string, rep serveReport) error {
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(prev, &doc) != nil {
+			doc = map[string]json.RawMessage{} // not an object: overwrite
+		}
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	if len(doc) == 0 {
+		// Fresh file: just the serve section, still under its key so the
+		// schema matches the merged form.
+		doc = map[string]json.RawMessage{}
+	}
+	doc["serve"] = raw
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func main() {
+	sessions := flag.Int("sessions", 16, "max concurrently running sessions")
+	queue := flag.Int("queue", 0, "admission queue depth behind the running sessions")
+	drivers := flag.Int("drivers", 0, "closed-loop submitters (0 = sessions+queue: saturates both tiers; > that exercises rejection)")
+	dur := flag.Duration("d", 10*time.Second, "how long to keep submitting")
+	mix := flag.String("mix", "all", `scenario mix: "all" or "Name[:weight],..." (name "Deadlock" injects Listing 1)`)
+	scaleFlag := flag.String("scale", "small", "workload scale: small, default, paper")
+	modeFlag := flag.String("mode", "full", "verification mode: unverified, ownership, full")
+	detector := flag.String("detector", "lockfree", "detector in full mode: lockfree, globallock")
+	inject := flag.Float64("inject", 0, "probability in [0,1) of swapping a draw for the Deadlock scenario")
+	seed := flag.Int64("seed", 1, "mix-draw RNG seed")
+	jsonOut := flag.String("json", "", `write/merge the report as JSON ("serve" section of a benchtable file)`)
+	verbose := flag.Bool("v", false, "log each rejected submission and scenario totals as they close")
+	flag.Parse()
+
+	scale := workloads.ParseScale(*scaleFlag)
+	scenarios, err := parseMix(*mix, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	var opts []core.Option
+	switch *modeFlag {
+	case "full":
+		opts = append(opts, core.WithMode(core.Full))
+	case "ownership":
+		opts = append(opts, core.WithMode(core.Ownership))
+	case "unverified":
+		opts = append(opts, core.WithMode(core.Unverified))
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	switch *detector {
+	case "lockfree":
+		// Explicit even though it is core's default: the DEADLOCK_DETECTOR
+		// env redirects option-less runtimes, and the report must label the
+		// detector that actually ran.
+		opts = append(opts, core.WithDetector(core.DetectLockFree))
+	case "globallock":
+		opts = append(opts, core.WithDetector(core.DetectGlobalLock))
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown detector %q\n", *detector)
+		os.Exit(2)
+	}
+	if *modeFlag != "full" && (*inject > 0 || *mix != "all") {
+		for _, sc := range scenarios {
+			if sc.want == serve.VerdictDeadlock {
+				fmt.Fprintln(os.Stderr, "loadgen: the Deadlock scenario requires -mode full (weaker modes hang on it)")
+				os.Exit(2)
+			}
+		}
+		if *inject > 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -inject requires -mode full (weaker modes hang on it)")
+			os.Exit(2)
+		}
+	}
+
+	injected := scenario{name: "Deadlock", weight: 0,
+		prog: func() core.TaskFunc { return deadlockProg }, want: serve.VerdictDeadlock}
+	totalWeight := 0
+	for _, sc := range scenarios {
+		totalWeight += sc.weight
+	}
+
+	stats := map[string]*scenarioStat{}
+	for _, sc := range scenarios {
+		stats[sc.name] = &scenarioStat{hist: harness.NewHistogram()}
+	}
+	if *inject > 0 {
+		stats[injected.name] = &scenarioStat{hist: harness.NewHistogram()}
+	}
+	var statsMu sync.Mutex
+	total := harness.NewHistogram()
+
+	goroutinesBefore := runtime.NumGoroutine()
+	pool := serve.NewPool(serve.Config{
+		MaxSessions: *sessions,
+		QueueDepth:  *queue,
+		Runtime:     opts,
+	})
+
+	// Closed-loop drivers, each repeatedly drawing a scenario, running it
+	// to completion, and recording the latency. The default driver count
+	// keeps the running tier and the admission queue both full without
+	// tripping rejection; -drivers beyond sessions+queue exercises the
+	// ErrPoolSaturated path too (rejections are reported in the pool line).
+	nDrivers := *drivers
+	if nDrivers <= 0 {
+		nDrivers = *sessions + *queue
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d sessions, queue %d, %d drivers, mix %q, %v, scale=%s mode=%s detector=%s inject=%g\n",
+		*sessions, *queue, nDrivers, *mix, *dur, *scaleFlag, *modeFlag, *detector, *inject)
+	deadline := time.Now().Add(*dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for d := 0; d < nDrivers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(d)))
+			for time.Now().Before(deadline) {
+				sc := scenarios[0]
+				if *inject > 0 && rng.Float64() < *inject {
+					sc = injected
+				} else {
+					w := rng.Intn(totalWeight)
+					for _, cand := range scenarios {
+						if w -= cand.weight; w < 0 {
+							sc = cand
+							break
+						}
+					}
+				}
+				sess, err := pool.Submit(sc.name, sc.prog())
+				if err != nil {
+					if *verbose {
+						fmt.Fprintf(os.Stderr, "loadgen: submit %s: %v\n", sc.name, err)
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				sess.Wait()
+				statsMu.Lock()
+				st := stats[sc.name]
+				st.count++
+				if sess.Verdict() != sc.want {
+					st.bad++
+					fmt.Fprintf(os.Stderr, "loadgen: FALSE VERDICT %s: got %s want %s: %v\n",
+						sc.name, sess.Verdict(), sc.want, sess.Err())
+				}
+				statsMu.Unlock()
+				st.hist.Observe(sess.Duration())
+				total.Observe(sess.Duration())
+			}
+		}(d)
+	}
+	wg.Wait()
+	pool.Close()
+	elapsed := time.Since(start)
+
+	// Drain check: after Close every pool goroutine (session supervisors,
+	// workers, cleaner) must be gone. Allow the runtime a moment to reap.
+	leaked := -1
+	for wait := time.Now().Add(5 * time.Second); time.Now().Before(wait); time.Sleep(10 * time.Millisecond) {
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore {
+			leaked = 0
+			break
+		}
+	}
+	if leaked != 0 {
+		leaked = runtime.NumGoroutine() - goroutinesBefore
+	}
+
+	ps := pool.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var rows []scenarioReport
+	var falseVerdicts int64
+	fmt.Printf("serve load report: %d sessions completed in %v (%.1f/s aggregate)\n\n",
+		ps.Completed, elapsed.Round(time.Millisecond), float64(ps.Completed)/elapsed.Seconds())
+	fmt.Printf("%-16s %9s %9s %9s %9s %9s %9s %6s\n",
+		"scenario", "sessions", "thr(/s)", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "false")
+	for _, name := range names {
+		st := stats[name]
+		sum := st.hist.Summary()
+		row := scenarioReport{
+			Name:          name,
+			Sessions:      st.count,
+			PerSec:        float64(st.count) / elapsed.Seconds(),
+			FalseVerdicts: st.bad,
+			HistSummary:   sum,
+		}
+		rows = append(rows, row)
+		falseVerdicts += st.bad
+		fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %6d\n",
+			name, row.Sessions, row.PerSec, sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.MaxMs, st.bad)
+	}
+	totalSum := total.Summary()
+	totalRow := scenarioReport{
+		Name: "total", Sessions: ps.Completed,
+		PerSec: float64(ps.Completed) / elapsed.Seconds(), FalseVerdicts: falseVerdicts,
+		HistSummary: totalSum,
+	}
+	fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %6d\n\n",
+		"total", totalRow.Sessions, totalRow.PerSec, totalSum.P50Ms, totalSum.P90Ms, totalSum.P99Ms, totalSum.MaxMs, falseVerdicts)
+	fmt.Printf("pool: peak %d in-flight, %d rejected, %d tasks, workers %d spawned / %d reused, %d dropped events\n",
+		ps.Peak, ps.Rejected, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.EventsDropped)
+	fmt.Printf("goroutines: %d before, %d leaked after Close\n", goroutinesBefore, leaked)
+
+	if *jsonOut != "" {
+		rep := serveReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Sessions:    *sessions,
+			Queue:       *queue,
+			Duration:    dur.String(),
+			Scale:       *scaleFlag,
+			Mode:        *modeFlag,
+			Detector:    *detector,
+			Mix:         *mix,
+			Inject:      *inject,
+			Scenarios:   rows,
+			Total:       totalRow,
+			Pool:        ps,
+		}
+		if err := writeJSON(*jsonOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *jsonOut)
+	}
+
+	bad := false
+	if falseVerdicts > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d false verdicts\n", falseVerdicts)
+		bad = true
+	}
+	if ps.EventsDropped > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d dropped trace events\n", ps.EventsDropped)
+		bad = true
+	}
+	if leaked != 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d goroutines leaked after Pool.Close\n", leaked)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

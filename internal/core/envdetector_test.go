@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// The DEADLOCK_DETECTOR environment variable redirects the default
+// detector so CI can sweep the whole suite under the global-lock ablation
+// without threading an option through every call site. An explicit
+// WithDetector must still win.
+func TestDetectorEnvDefault(t *testing.T) {
+	t.Setenv("DEADLOCK_DETECTOR", "globallock")
+	if got := NewRuntime().Detector(); got != DetectGlobalLock {
+		t.Fatalf("default detector = %v, want globallock from env", got)
+	}
+	if got := NewRuntime(WithDetector(DetectLockFree)).Detector(); got != DetectLockFree {
+		t.Fatalf("explicit WithDetector overridden by env: %v", got)
+	}
+
+	t.Setenv("DEADLOCK_DETECTOR", "lockfree")
+	if got := NewRuntime().Detector(); got != DetectLockFree {
+		t.Fatalf("default detector = %v, want lockfree", got)
+	}
+
+	t.Setenv("DEADLOCK_DETECTOR", "nonsense")
+	if got := NewRuntime().Detector(); got != DetectLockFree {
+		t.Fatalf("unknown env value must fall back to lockfree, got %v", got)
+	}
+
+	// The env-selected global-lock detector must actually be wired up
+	// (Full mode allocates the comparator's state).
+	t.Setenv("DEADLOCK_DETECTOR", "globallock")
+	rt := NewRuntime(WithMode(Full))
+	if rt.gdet == nil {
+		t.Fatal("global detector state not allocated for env-selected globallock")
+	}
+}

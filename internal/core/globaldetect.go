@@ -31,6 +31,10 @@ func (g *globalDetector) beforeWait(t *Task, s *pstate) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.waiting[t] = s
+	// The cycle check below walks the locked map, but diagnostics (the
+	// Snapshot waits-for edges) read Task.waitingOn; publish the edge there
+	// too so tooling sees the same picture under either detector.
+	t.waitingOn.Store(s)
 	cur := s
 	for {
 		owner := cur.owner.Load()
@@ -39,6 +43,7 @@ func (g *globalDetector) beforeWait(t *Task, s *pstate) error {
 		}
 		if owner == t {
 			delete(g.waiting, t)
+			t.waitingOn.Store(nil)
 			return t.buildCycleLocked(s, g)
 		}
 		next, ok := g.waiting[owner]
@@ -54,6 +59,7 @@ func (g *globalDetector) afterWait(t *Task) {
 	g.mu.Lock()
 	delete(g.waiting, t)
 	g.mu.Unlock()
+	t.waitingOn.Store(nil)
 }
 
 // buildCycleLocked reconstructs the cycle using the waiting map (the

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -225,13 +226,28 @@ type Runtime struct {
 	sets        atomic.Int64
 }
 
+// defaultDetector returns the detector used when WithDetector is absent:
+// the paper's lock-free Algorithm 2, unless the DEADLOCK_DETECTOR
+// environment variable selects otherwise ("lockfree" or "globallock").
+// The env hook exists so the whole test suite — and anything else that
+// constructs runtimes without an explicit WithDetector — can be swept
+// under the ablation comparator by CI without a per-call-site flag; an
+// explicit WithDetector always wins, since options run after defaults.
+func defaultDetector() DetectorKind {
+	if os.Getenv("DEADLOCK_DETECTOR") == "globallock" {
+		return DetectGlobalLock
+	}
+	return DetectLockFree
+}
+
 // NewRuntime creates a runtime. The default configuration is the paper's
 // evaluated one: Full mode, lock-free detector, owned lists, goroutine per
-// task, no event counting.
+// task, no event counting. (The default detector can be redirected by the
+// DEADLOCK_DETECTOR environment variable; see defaultDetector.)
 func NewRuntime(opts ...Option) *Runtime {
 	r := &Runtime{
 		mode:     Full,
-		detector: DetectLockFree,
+		detector: defaultDetector(),
 		tracking: TrackList,
 	}
 	for _, o := range opts {

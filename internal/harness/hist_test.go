@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within the log-linear error envelope (one sub-bucket width,
+	// i.e. <= 1/16 relative for values >= 16).
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 4095, 4096,
+		1e6, 1e9, 123456789, 1 << 40, 1<<62 + 12345} {
+		idx := histIndex(v)
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("v=%d: bucket upper %d below value", v, up)
+		}
+		if v >= 16 && float64(up-v) > float64(v)/16+1 {
+			t.Fatalf("v=%d: bucket upper %d too loose", v, up)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Fatalf("v=%d landed in bucket %d but previous bucket already covers it", v, idx)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms, exact ranks known.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		// Conservative upper-bound estimate within 7% of the true rank value.
+		if got < want || float64(got) > float64(want)*1.07 {
+			t.Fatalf("q%.2f = %v, want [%v, %v]", q, got, want, time.Duration(float64(want)*1.07))
+		}
+	}
+	check(0.50, 500*time.Millisecond)
+	check(0.90, 900*time.Millisecond)
+	check(0.99, 990*time.Millisecond)
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("min %v", h.Min())
+	}
+	if m := h.Mean(); m < 499*time.Millisecond || m > 502*time.Millisecond {
+		t.Fatalf("mean %v", m)
+	}
+	// The quantile never exceeds the true maximum even in the top bucket.
+	if h.Quantile(1) != 1000*time.Millisecond {
+		t.Fatalf("q1 = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyAndSummary(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamps to zero, does not underflow
+	h.Observe(2 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 2 || s.MaxMs < 1.9 || s.MaxMs > 2.2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// The loadgen drivers feed one histogram from many goroutines; run a
+	// mixed hammer (with -race in CI) and check nothing is lost.
+	h := NewHistogram()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(rng.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count %d, want %d", h.Count(), workers*each)
+	}
+}
+
+func TestHistogramQuantileRankIsCeil(t *testing.T) {
+	// Regression: rank truncation made p50 of {10,20,30} report the 1st
+	// observation's bucket instead of the 2nd.
+	h := NewHistogram()
+	for _, ms := range []int{10, 20, 30} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got < 20*time.Millisecond || got > 22*time.Millisecond {
+		t.Fatalf("p50 of {10,20,30}ms = %v, want ~20ms", got)
+	}
+	// q=0.99 over 101 observations must select rank 100 (ceil), not 99.
+	h2 := NewHistogram()
+	for i := 1; i <= 101; i++ {
+		h2.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h2.Quantile(0.99); got < 100*time.Millisecond {
+		t.Fatalf("p99 of 1..101ms = %v, want >= 100ms", got)
+	}
+}

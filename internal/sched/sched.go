@@ -12,6 +12,12 @@
 // when none is, so the steady-state worker count tracks the peak number of
 // simultaneously live tasks rather than the total task count. The
 // benchmark suite compares the two (spawn cost vs reuse).
+//
+// One Elastic may be shared by many runtimes (the serving layer runs every
+// session's tasks on a single pool): Tenant carves out a per-session
+// accounting view, and Close retires the pool deterministically — parked
+// workers, busy workers, and the cleaner goroutine all exit before Close
+// returns, so a server can assert full drain at shutdown.
 package sched
 
 import (
@@ -53,9 +59,19 @@ type Elastic struct {
 	mu        sync.Mutex
 	parked    []*worker // LIFO: oldest park at index 0, newest at the top
 	cleanerOn bool
+	closed    bool
+
+	// stop wakes the cleaner immediately at Close instead of letting it
+	// sleep out its sweep interval; workers and cleaners let Close block
+	// until every pool goroutine has actually exited.
+	stop     chan struct{}
+	workers  sync.WaitGroup
+	cleaners sync.WaitGroup
 
 	spawned atomic.Int64
 	reused  atomic.Int64
+	live    atomic.Int64
+	busy    atomic.Int64
 }
 
 // worker is one pool goroutine and its local job slot. The 1-slot buffer
@@ -73,18 +89,32 @@ func NewElastic(idleTimeout time.Duration) *Elastic {
 	if idleTimeout <= 0 {
 		idleTimeout = 50 * time.Millisecond
 	}
-	return &Elastic{idleTimeout: idleTimeout}
+	return &Elastic{idleTimeout: idleTimeout, stop: make(chan struct{})}
 }
 
 // Execute schedules f on an idle worker, growing the pool if none is
-// available. It never blocks waiting for a worker.
+// available. It never blocks waiting for a worker. After Close, Execute
+// degrades to goroutine-per-task: a closed pool must still never bound the
+// number of concurrently blocked tasks (the §6.3 requirement holds for
+// stragglers submitted during shutdown), it just stops keeping workers.
 func (e *Elastic) Execute(f func()) {
 	if w := e.popParked(); w != nil {
 		e.reused.Add(1)
 		w.slot <- f // buffered: never blocks, worker is committed to drain it
 		return
 	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		go f()
+		return
+	}
+	// The worker is registered under the same critical section that
+	// checked closed, so a concurrent Close is guaranteed to wait for it.
+	e.workers.Add(1)
+	e.mu.Unlock()
 	e.spawned.Add(1)
+	e.live.Add(1)
 	w := &worker{slot: make(chan func(), 1)}
 	go w.run(e, f)
 }
@@ -105,30 +135,45 @@ func (e *Elastic) popParked() *worker {
 }
 
 func (w *worker) run(e *Elastic, f func()) {
+	defer func() {
+		e.live.Add(-1)
+		e.workers.Done()
+	}()
 	for {
+		e.busy.Add(1)
 		f()
-		e.park(w)
+		e.busy.Add(-1)
+		if !e.park(w) {
+			return // pool closed: exit instead of parking
+		}
 		var ok bool
 		if f, ok = <-w.slot; !ok {
-			return // retired by the cleaner
+			return // retired by the cleaner or by Close
 		}
 	}
 }
 
 // park pushes w onto the idle stack and makes sure a cleaner goroutine is
-// watching for expirations.
-func (e *Elastic) park(w *worker) {
+// watching for expirations. It reports false — without parking — when the
+// pool is closed, telling the worker to exit.
+func (e *Elastic) park(w *worker) bool {
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
 	w.parkedAt = time.Now()
 	e.parked = append(e.parked, w)
 	startCleaner := !e.cleanerOn
 	if startCleaner {
 		e.cleanerOn = true
+		e.cleaners.Add(1)
 	}
 	e.mu.Unlock()
 	if startCleaner {
 		go e.cleaner()
 	}
+	return true
 }
 
 // cleaner retires workers parked for longer than the idle timeout. It runs
@@ -137,14 +182,25 @@ func (e *Elastic) park(w *worker) {
 // parkedAt is assigned in park order, the stack is sorted oldest-first and
 // each sweep strips a prefix.
 func (e *Elastic) cleaner() {
+	defer e.cleaners.Done()
 	interval := e.idleTimeout / 4
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
 	for {
-		time.Sleep(interval)
+		select {
+		case <-e.stop:
+			return // Close retires the parked workers itself
+		case <-ticker.C:
+		}
 		cutoff := time.Now().Add(-e.idleTimeout)
 		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
 		n := 0
 		for n < len(e.parked) && e.parked[n].parkedAt.Before(cutoff) {
 			n++
@@ -170,10 +226,41 @@ func (e *Elastic) cleaner() {
 	}
 }
 
+// Close retires the pool: no new workers are kept after it is called, every
+// parked worker is released, and Close blocks until all pool goroutines —
+// busy workers included, which finish their current job first — and the
+// cleaner have exited. Jobs handed to Execute before Close still run to
+// completion; Execute after Close falls back to goroutine-per-task.
+// Close is idempotent and safe to call concurrently.
+func (e *Elastic) Close() {
+	e.mu.Lock()
+	first := !e.closed
+	e.closed = true
+	parked := e.parked
+	e.parked = nil
+	e.cleanerOn = false
+	e.mu.Unlock()
+	if first {
+		close(e.stop)
+	}
+	for _, w := range parked {
+		close(w.slot)
+	}
+	e.workers.Wait()
+	e.cleaners.Wait()
+}
+
 // Stats reports how many workers were spawned and how many task
 // submissions were satisfied by reusing an idle worker.
 func (e *Elastic) Stats() (spawned, reused int64) {
 	return e.spawned.Load(), e.reused.Load()
+}
+
+// Workers reports the pool's current population: live is every worker
+// goroutine that exists, busy the subset currently running a job. After
+// Close both are zero.
+func (e *Elastic) Workers() (live, busy int64) {
+	return e.live.Load(), e.busy.Load()
 }
 
 // Idle reports how many workers are currently parked (primarily for tests
@@ -182,4 +269,44 @@ func (e *Elastic) Idle() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.parked)
+}
+
+// Tenant is a per-client accounting view over a shared Elastic: each
+// session of a multi-runtime server submits through its own Tenant so the
+// server can attribute pool usage without the pool serializing on a shared
+// table. A Tenant adds two atomic counters per submission; job transfer is
+// the pool's uncontended path either way.
+type Tenant struct {
+	e    *Elastic
+	name string
+
+	submitted atomic.Int64
+	inflight  atomic.Int64
+}
+
+// Tenant returns a named accounting view over the pool. Tenants are
+// independent; creating one takes no lock and the pool keeps no reference
+// to it.
+func (e *Elastic) Tenant(name string) *Tenant {
+	return &Tenant{e: e, name: name}
+}
+
+// Name returns the tenant's label.
+func (t *Tenant) Name() string { return t.name }
+
+// Execute submits f to the shared pool, attributed to this tenant. Like
+// Elastic.Execute it never blocks and never bounds concurrency.
+func (t *Tenant) Execute(f func()) {
+	t.submitted.Add(1)
+	t.inflight.Add(1)
+	t.e.Execute(func() {
+		defer t.inflight.Add(-1)
+		f()
+	})
+}
+
+// Stats reports how many jobs the tenant has submitted in total and how
+// many are currently submitted-but-unfinished.
+func (t *Tenant) Stats() (submitted, inflight int64) {
+	return t.submitted.Load(), t.inflight.Load()
 }

@@ -158,3 +158,100 @@ func TestElasticIdleWorkersBoundGoroutines(t *testing.T) {
 	t.Fatalf("idle workers not retired: %d parked, %d goroutines (baseline %d)",
 		ex.Idle(), runtime.NumGoroutine(), before)
 }
+
+func TestElasticCloseDrainsAllGoroutines(t *testing.T) {
+	// Close must retire parked workers, wait out busy ones, and stop the
+	// cleaner — synchronously, not eventually. A long idle timeout makes
+	// sure nothing could have expired on its own.
+	before := runtime.NumGoroutine()
+	ex := NewElastic(time.Hour)
+	gate := make(chan struct{})
+	var entered sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		entered.Add(1)
+		ex.Execute(func() { entered.Done(); <-gate })
+	}
+	entered.Wait()
+	// Half the pool is still busy when Close starts; release them from a
+	// side goroutine so Close's drain actually overlaps running jobs.
+	go func() { time.Sleep(5 * time.Millisecond); close(gate) }()
+	ex.Close()
+	if live, busy := ex.Workers(); live != 0 || busy != 0 {
+		t.Fatalf("after Close: live=%d busy=%d, want 0/0", live, busy)
+	}
+	if ex.Idle() != 0 {
+		t.Fatalf("after Close: %d workers still parked", ex.Idle())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked through Close: %d, baseline %d", runtime.NumGoroutine(), before)
+}
+
+func TestElasticCloseIsIdempotentAndConcurrent(t *testing.T) {
+	ex := NewElastic(time.Hour)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ex.Execute(func() { wg.Done() })
+	wg.Wait()
+	var closers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		closers.Add(1)
+		go func() { defer closers.Done(); ex.Close() }()
+	}
+	closers.Wait()
+	// Execute after Close must still run the job (goroutine-per-task
+	// fallback): a closed pool may not strand shutdown stragglers.
+	wg.Add(1)
+	ex.Execute(func() { wg.Done() })
+	wg.Wait()
+}
+
+func TestTenantAccounting(t *testing.T) {
+	ex := NewElastic(time.Hour)
+	defer ex.Close()
+	a, b := ex.Tenant("a"), ex.Tenant("b")
+	gate := make(chan struct{})
+	var entered, done sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		entered.Add(1)
+		done.Add(1)
+		a.Execute(func() { entered.Done(); <-gate; done.Done() })
+	}
+	for i := 0; i < 3; i++ {
+		entered.Add(1)
+		done.Add(1)
+		b.Execute(func() { entered.Done(); <-gate; done.Done() })
+	}
+	entered.Wait()
+	if sub, inf := a.Stats(); sub != 8 || inf != 8 {
+		t.Fatalf("tenant a mid-run: submitted=%d inflight=%d, want 8/8", sub, inf)
+	}
+	if sub, inf := b.Stats(); sub != 3 || inf != 3 {
+		t.Fatalf("tenant b mid-run: submitted=%d inflight=%d, want 3/3", sub, inf)
+	}
+	if _, busy := ex.Workers(); busy != 11 {
+		t.Fatalf("pool busy=%d, want 11", busy)
+	}
+	close(gate)
+	done.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, infA := a.Stats()
+		_, infB := b.Stats()
+		if infA == 0 && infB == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, inf := a.Stats(); inf != 0 {
+		t.Fatalf("tenant a inflight=%d after drain, want 0", inf)
+	}
+	if sub, _ := b.Stats(); sub != 3 {
+		t.Fatalf("tenant b submitted=%d after drain, want 3", sub)
+	}
+}

@@ -1,0 +1,256 @@
+// Package serve is the multi-session serving layer: it runs many
+// concurrent, mutually isolated promise programs ("sessions") over one
+// shared elastic scheduler, with admission control in front and
+// per-session verdicts behind.
+//
+// The paper's runtime verifies one program; a server verifies thousands at
+// once. Giving every session its own sched.Elastic would multiply worker
+// and cleaner goroutines by the session count and defeat worker reuse
+// across sessions, so the Pool owns a single Elastic and injects a
+// per-session accounting view of it (sched.Tenant) into each session's
+// core.Runtime via the executor seam (core.WithExecutor). Isolation is
+// preserved because everything the detector and the ownership policy
+// touch — task registries, promise owners, error lists, event collectors —
+// lives in the per-session Runtime; the scheduler only donates goroutines,
+// and the paper's §6.3 unbounded-growth requirement holds globally, so one
+// session's blocked tasks can never starve another's.
+//
+// Admission is two-stage: at most MaxSessions sessions run concurrently,
+// at most QueueDepth more wait for a slot, and anything beyond that is
+// rejected synchronously with ErrPoolSaturated — the caller, not the pool,
+// owns retry policy. Shutdown is ordered: Close stops admission, drains
+// queued and running sessions, then closes the shared scheduler, which
+// itself blocks until every worker and the cleaner goroutine have exited.
+// After Close returns the pool has provably released every goroutine it
+// created (the race tests assert this against runtime.NumGoroutine).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// ErrPoolSaturated is returned by Submit when MaxSessions sessions are
+// running and the wait queue is full.
+var ErrPoolSaturated = errors.New("serve: pool saturated")
+
+// ErrPoolClosed is returned by Submit after Close has been called.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Config configures a Pool. The zero value is usable: 8 concurrent
+// sessions, no queue, default scheduler idle timeout, Full verification.
+type Config struct {
+	// MaxSessions is the number of sessions allowed to run concurrently.
+	// <= 0 selects 8.
+	MaxSessions int
+	// QueueDepth is how many admitted-but-waiting sessions may be parked
+	// behind the running ones before Submit starts rejecting. 0 means
+	// queue nothing: saturate-and-reject.
+	QueueDepth int
+	// IdleTimeout is the shared scheduler's worker idle timeout
+	// (sched.NewElastic); zero selects that constructor's default.
+	IdleTimeout time.Duration
+	// Runtime is the base option set applied to every session's runtime,
+	// before per-Submit options. The pool always appends its own executor
+	// injection last, so a WithExecutor here or at Submit is overridden —
+	// sessions run on the shared pool by construction.
+	Runtime []core.Option
+}
+
+// Pool runs sessions. Create with NewPool, submit with Submit, shut down
+// with Close.
+type Pool struct {
+	cfg  Config
+	exec *sched.Elastic
+
+	// slots is the running-session semaphore: buffer size MaxSessions.
+	slots chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	waiting int // sessions admitted to the queue, not yet holding a slot
+	drain   sync.WaitGroup
+
+	nextID    atomic.Uint64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	inflight  atomic.Int64
+	peak      atomic.Int64
+
+	verdicts [verdictCount]atomic.Int64
+	tasksRun atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewPool creates a serving pool with its own shared scheduler.
+func NewPool(cfg Config) *Pool {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 8
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &Pool{
+		cfg:   cfg,
+		exec:  sched.NewElastic(cfg.IdleTimeout),
+		slots: make(chan struct{}, cfg.MaxSessions),
+	}
+}
+
+// Submit starts (or queues) one session running main and returns its
+// handle immediately. The session's runtime is built from the pool's base
+// options, then opts, then the shared-executor injection. Submit never
+// blocks on session execution: if a slot is free the session starts right
+// away; if the queue has room it waits for a slot in the background;
+// otherwise Submit fails fast with ErrPoolSaturated.
+func (p *Pool) Submit(name string, main core.TaskFunc, opts ...core.Option) (*Session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return nil, ErrPoolClosed
+	}
+	queued := false
+	select {
+	case p.slots <- struct{}{}: // slot free: run immediately
+	default:
+		if p.waiting >= p.cfg.QueueDepth {
+			p.mu.Unlock()
+			p.rejected.Add(1)
+			return nil, ErrPoolSaturated
+		}
+		p.waiting++
+		queued = true
+	}
+	p.drain.Add(1)
+	p.mu.Unlock()
+
+	id := p.nextID.Add(1)
+	if name == "" {
+		name = fmt.Sprintf("session-%d", id)
+	}
+	tenant := p.exec.Tenant(name)
+	s := &Session{
+		pool:     p,
+		id:       id,
+		name:     name,
+		tenant:   tenant,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+		runtimeOpts: append(append(append([]core.Option{}, p.cfg.Runtime...), opts...),
+			core.WithExecutor(tenant.Execute)),
+	}
+	p.submitted.Add(1)
+	go p.runSession(s, main, queued)
+	return s, nil
+}
+
+// runSession is the session's supervising goroutine: acquire a slot if the
+// session was queued, build the isolated runtime, run the program, record
+// the verdict, release the slot.
+func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
+	defer p.drain.Done()
+	if queued {
+		p.slots <- struct{}{} // blocks until a running session releases
+		p.mu.Lock()
+		p.waiting--
+		p.mu.Unlock()
+	}
+	cur := p.inflight.Add(1)
+	for {
+		old := p.peak.Load()
+		if cur <= old || p.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	s.startedAt = time.Now()
+	rt := core.NewRuntime(s.runtimeOpts...)
+	s.rt = rt
+	err := rt.Run(main)
+	s.finishedAt = time.Now()
+	s.err = err
+	s.verdict = Classify(err)
+	s.stats = rt.Stats()
+
+	p.inflight.Add(-1)
+	p.completed.Add(1)
+	p.verdicts[s.verdict].Add(1)
+	p.tasksRun.Add(s.stats.Tasks)
+	p.dropped.Add(s.stats.EventsDropped)
+	// Release the slot BEFORE signalling completion: a caller that Waits
+	// and immediately Submits must find the slot free, not race this
+	// goroutine for it and get a spurious ErrPoolSaturated. The inflight
+	// decrement above precedes the release, so Peak can never read above
+	// MaxSessions.
+	<-p.slots
+	close(s.done)
+}
+
+// Close stops admission, waits for every queued and running session to
+// finish, and then shuts down the shared scheduler (which blocks until all
+// of its workers and its cleaner goroutine have exited). Idempotent;
+// concurrent Close calls all block until the drain completes.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.drain.Wait()
+	p.exec.Close()
+}
+
+// Executor exposes the shared scheduler, for monitoring (Stats/Workers/
+// Idle). Submitting work to it directly bypasses session accounting.
+func (p *Pool) Executor() *sched.Elastic { return p.exec }
+
+// PoolStats is a snapshot of the pool's aggregate accounting.
+type PoolStats struct {
+	Submitted int64 `json:"submitted"` // accepted sessions (running, queued, or done)
+	Rejected  int64 `json:"rejected"`  // saturated or closed rejections
+	Completed int64 `json:"completed"`
+	InFlight  int64 `json:"in_flight"`
+	Waiting   int64 `json:"waiting"`
+	Peak      int64 `json:"peak_in_flight"`
+
+	// Per-verdict counts over completed sessions.
+	Clean            int64 `json:"clean"`
+	Deadlocks        int64 `json:"deadlocks"`
+	PolicyViolations int64 `json:"policy_violations"`
+	Failed           int64 `json:"failed"`
+
+	TasksRun      int64 `json:"tasks_run"`      // sum of session task counts
+	EventsDropped int64 `json:"events_dropped"` // sum over traced sessions; 0 when healthy
+
+	WorkersSpawned int64 `json:"workers_spawned"` // shared-scheduler counters
+	WorkersReused  int64 `json:"workers_reused"`
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	waiting := int64(p.waiting)
+	p.mu.Unlock()
+	spawned, reused := p.exec.Stats()
+	return PoolStats{
+		Submitted:        p.submitted.Load(),
+		Rejected:         p.rejected.Load(),
+		Completed:        p.completed.Load(),
+		InFlight:         p.inflight.Load(),
+		Waiting:          waiting,
+		Peak:             p.peak.Load(),
+		Clean:            p.verdicts[VerdictClean].Load(),
+		Deadlocks:        p.verdicts[VerdictDeadlock].Load(),
+		PolicyViolations: p.verdicts[VerdictPolicy].Load(),
+		Failed:           p.verdicts[VerdictFailed].Load(),
+		TasksRun:         p.tasksRun.Load(),
+		EventsDropped:    p.dropped.Load(),
+		WorkersSpawned:   spawned,
+		WorkersReused:    reused,
+	}
+}

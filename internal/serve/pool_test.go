@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cleanProg spawns four children, each fulfilling one moved promise, and
+// joins through them — a well-behaved concurrent session.
+func cleanProg(root *core.Task) error {
+	var ps []*core.Promise[int]
+	for i := 0; i < 4; i++ {
+		p := core.NewPromise[int](root)
+		ps = append(ps, p)
+		i := i
+		if _, err := root.Async(func(c *core.Task) error {
+			return p.Set(c, i)
+		}, p); err != nil {
+			return err
+		}
+	}
+	for i, p := range ps {
+		v, err := p.Get(root)
+		if err != nil {
+			return err
+		}
+		if v != i {
+			return fmt.Errorf("got %d want %d", v, i)
+		}
+	}
+	return nil
+}
+
+// deadlockProg is the paper's Listing 1: root and the child wait on each
+// other's promise. Under Full mode the detector reports the cycle and both
+// waits abort, so the session terminates with a DeadlockError.
+func deadlockProg(root *core.Task) error {
+	p := core.NewPromise[int](root)
+	q := core.NewPromise[int](root)
+	if _, err := root.Async(func(t2 *core.Task) error {
+		if _, err := p.Get(t2); err != nil {
+			return err
+		}
+		return q.Set(t2, 1)
+	}, q); err != nil {
+		return err
+	}
+	if _, err := q.Get(root); err != nil {
+		return err
+	}
+	return p.Set(root, 1)
+}
+
+// TestPoolMixedSessionsIsolationAndDrain is the serving layer's core
+// contract, exercised under -race by the tier-1 suite: >= 8 concurrent
+// sessions mixing clean and deadlocking programs over one shared
+// scheduler must (1) each receive exactly their own verdict, (2) drop no
+// trace events, and (3) leave no goroutine behind once Pool.Close
+// returns.
+func TestPoolMixedSessionsIsolationAndDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pool := NewPool(Config{
+		MaxSessions: 8,
+		QueueDepth:  32,
+		Runtime:     []core.Option{core.WithMode(core.Full), core.WithEventLog(4096)},
+	})
+
+	const n = 24
+	var sessions [n]*Session
+	for i := 0; i < n; i++ {
+		prog, name := core.TaskFunc(cleanProg), "clean"
+		if i%3 == 2 {
+			prog, name = deadlockProg, "cycle"
+		}
+		s, err := pool.Submit(fmt.Sprintf("%s-%d", name, i), prog)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+
+	for i, s := range sessions {
+		err := s.Wait()
+		want := VerdictClean
+		if i%3 == 2 {
+			want = VerdictDeadlock
+		}
+		if got := s.Verdict(); got != want {
+			t.Errorf("session %s: verdict %s want %s (err: %v)", s.Name(), got, want, err)
+		}
+		if want == VerdictClean && err != nil {
+			t.Errorf("session %s: clean program failed: %v", s.Name(), err)
+		}
+		if want == VerdictDeadlock {
+			var dl *core.DeadlockError
+			if !errors.As(err, &dl) {
+				t.Errorf("session %s: no DeadlockError in %v", s.Name(), err)
+			}
+		}
+		if dropped := s.Stats().EventsDropped; dropped != 0 {
+			t.Errorf("session %s: %d dropped trace events", s.Name(), dropped)
+		}
+		if s.Stats().Tasks == 0 {
+			t.Errorf("session %s: no tasks recorded", s.Name())
+		}
+		// Deterministically stop the session's trace collector so the
+		// drain check below sees only pool-owned goroutines.
+		if err := s.Runtime().TraceClose(); err != nil {
+			t.Errorf("session %s: TraceClose: %v", s.Name(), err)
+		}
+	}
+
+	ps := pool.Stats()
+	wantDeadlocks := int64(n / 3)
+	if ps.Completed != n || ps.Clean != n-wantDeadlocks || ps.Deadlocks != wantDeadlocks {
+		t.Errorf("pool stats: completed=%d clean=%d deadlocks=%d, want %d/%d/%d",
+			ps.Completed, ps.Clean, ps.Deadlocks, n, n-wantDeadlocks, wantDeadlocks)
+	}
+	if ps.Peak > 8 {
+		t.Errorf("peak in-flight %d exceeded MaxSessions 8", ps.Peak)
+	}
+	if ps.EventsDropped != 0 {
+		t.Errorf("pool dropped %d events", ps.EventsDropped)
+	}
+
+	pool.Close()
+	if live, busy := pool.Executor().Workers(); live != 0 || busy != 0 {
+		t.Fatalf("after Close: live=%d busy=%d workers", live, busy)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.GC() // nudge AddCleanup-based collector shutdown for any stragglers
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked through Pool.Close: %d, baseline %d", runtime.NumGoroutine(), before)
+}
+
+func TestPoolAdmissionQueueAndReject(t *testing.T) {
+	pool := NewPool(Config{MaxSessions: 2, QueueDepth: 1})
+	gate := make(chan struct{})
+	block := func(t *core.Task) error { <-gate; return nil }
+
+	s1, err := pool.Submit("s1", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := pool.Submit("s2", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both slots will be taken; wait until they are running so the third
+	// submission must queue rather than race for a slot.
+	waitInFlight(t, pool, 2)
+	s3, err := pool.Submit("s3", block)
+	if err != nil {
+		t.Fatalf("queue admission failed: %v", err)
+	}
+	if _, err := pool.Submit("s4", block); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("expected ErrPoolSaturated, got %v", err)
+	}
+	close(gate)
+	for _, s := range []*Session{s1, s2, s3} {
+		if err := s.Wait(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if s.Verdict() != VerdictClean {
+			t.Fatalf("%s: verdict %s", s.Name(), s.Verdict())
+		}
+	}
+	if s3.QueueLatency() < 0 {
+		t.Fatalf("negative queue latency: %v", s3.QueueLatency())
+	}
+	pool.Close()
+	if _, err := pool.Submit("s5", block); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("expected ErrPoolClosed, got %v", err)
+	}
+	ps := pool.Stats()
+	if ps.Submitted != 3 || ps.Rejected != 2 || ps.Completed != 3 {
+		t.Fatalf("stats: submitted=%d rejected=%d completed=%d, want 3/2/3",
+			ps.Submitted, ps.Rejected, ps.Completed)
+	}
+}
+
+func waitInFlight(t *testing.T, p *Pool, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().InFlight == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("in-flight never reached %d (now %d)", want, p.Stats().InFlight)
+}
+
+func TestPoolCloseDrainsQueuedSessions(t *testing.T) {
+	// Sessions already admitted — running or queued — must complete through
+	// Close; only new submissions are rejected.
+	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 4})
+	gate := make(chan struct{})
+	var sessions []*Session
+	first, err := pool.Submit("first", func(t *core.Task) error { <-gate; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions = append(sessions, first)
+	waitInFlight(t, pool, 1)
+	for i := 0; i < 4; i++ {
+		s, err := pool.Submit("", func(t *core.Task) error { return nil })
+		if err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+	done := make(chan struct{})
+	go func() { pool.Close(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Close returned while a session was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+	for _, s := range sessions {
+		if err := s.Wait(); err != nil {
+			t.Fatalf("%s failed: %v", s.Name(), err)
+		}
+	}
+	if ps := pool.Stats(); ps.Completed != 5 {
+		t.Fatalf("completed %d sessions, want 5", ps.Completed)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pool := NewPool(Config{MaxSessions: 2})
+	defer pool.Close()
+
+	cases := []struct {
+		name string
+		prog core.TaskFunc
+		want Verdict
+	}{
+		{"clean", cleanProg, VerdictClean},
+		{"deadlock", deadlockProg, VerdictDeadlock},
+		{"omitted", func(root *core.Task) error {
+			core.NewPromise[int](root) // owned, never set: rule-3 violation
+			return nil
+		}, VerdictPolicy},
+		{"failed", func(root *core.Task) error {
+			return errors.New("application error")
+		}, VerdictFailed},
+	}
+	for _, tc := range cases {
+		s, err := pool.Submit(tc.name, tc.prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		s.Wait()
+		if got := s.Verdict(); got != tc.want {
+			t.Errorf("%s: verdict %s want %s (err: %v)", tc.name, got, tc.want, s.Err())
+		}
+	}
+}
+
+func TestPoolWaitThenSubmitFindsFreedSlot(t *testing.T) {
+	// Regression: the supervisor used to release its slot only after
+	// signalling Done, so Wait-then-Submit on a full, queueless pool could
+	// race the release and get a spurious ErrPoolSaturated.
+	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 0})
+	defer pool.Close()
+	for i := 0; i < 200; i++ {
+		s, err := pool.Submit("", func(t *core.Task) error { return nil })
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := s.Wait(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if ps := pool.Stats(); ps.Rejected != 0 {
+		t.Fatalf("%d spurious rejections on a strictly sequential load", ps.Rejected)
+	}
+}
+
+func TestSessionSchedStats(t *testing.T) {
+	pool := NewPool(Config{MaxSessions: 1})
+	defer pool.Close()
+	s, err := pool.Submit("acct", cleanProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	submitted, _ := s.SchedStats()
+	// cleanProg runs the root plus four children through the executor.
+	if submitted != 5 {
+		t.Fatalf("tenant submitted %d tasks, want 5", submitted)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, inflight := s.SchedStats(); inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, inflight := s.SchedStats()
+			t.Fatalf("tenant inflight %d after session end, want 0", inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Verdict classifies how a session ended, folding the runtime's error
+// taxonomy into the four outcomes a server routes on.
+type Verdict uint8
+
+const (
+	// VerdictClean: the program terminated with no error.
+	VerdictClean Verdict = iota
+	// VerdictDeadlock: the detector reported a cycle (core.DeadlockError).
+	VerdictDeadlock
+	// VerdictPolicy: an ownership-policy violation — omitted set, non-owner
+	// set/move, double set, or a broken-promise cascade.
+	VerdictPolicy
+	// VerdictFailed: any other error (task error, panic, timeout).
+	VerdictFailed
+
+	verdictCount = iota
+)
+
+// String returns the verdict name used in reports.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictDeadlock:
+		return "deadlock"
+	case VerdictPolicy:
+		return "policy"
+	case VerdictFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify maps a session's joined error to its verdict. Deadlock wins
+// over policy when both appear (the cycle is the root cause a server wants
+// to route on; the cascade errors are its fallout).
+func Classify(err error) Verdict {
+	if err == nil {
+		return VerdictClean
+	}
+	var dl *core.DeadlockError
+	if errors.As(err, &dl) {
+		return VerdictDeadlock
+	}
+	var (
+		om *core.OmittedSetError
+		ow *core.OwnershipError
+		ds *core.DoubleSetError
+		bp *core.BrokenPromiseError
+	)
+	if errors.As(err, &om) || errors.As(err, &ow) || errors.As(err, &ds) || errors.As(err, &bp) {
+		return VerdictPolicy
+	}
+	return VerdictFailed
+}
+
+// Session is one submitted program. The handle is returned by Submit
+// before the program runs; Wait blocks until it has finished. All other
+// accessors are valid only after Wait (or a receive from Done) returns.
+type Session struct {
+	pool *Pool
+	id   uint64
+	name string
+
+	runtimeOpts []core.Option
+	rt          *core.Runtime
+	tenant      *sched.Tenant
+
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	done    chan struct{}
+	err     error
+	verdict Verdict
+	stats   core.Stats
+}
+
+// ID returns the session's pool-unique identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Name returns the session's diagnostic name.
+func (s *Session) Name() string { return s.name }
+
+// Done returns a channel closed when the session has finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session has finished and returns its error (the
+// runtime's joined errors, nil for a clean run).
+func (s *Session) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Err returns the session's error. Valid after Wait/Done.
+func (s *Session) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Verdict returns the classified outcome. Valid after Wait/Done.
+func (s *Session) Verdict() Verdict {
+	<-s.done
+	return s.verdict
+}
+
+// Stats returns the session runtime's counters. Valid after Wait/Done.
+func (s *Session) Stats() core.Stats {
+	<-s.done
+	return s.stats
+}
+
+// Runtime returns the session's runtime — e.g. to read its event log or
+// TraceClose its sinks. Valid after Wait/Done.
+func (s *Session) Runtime() *core.Runtime {
+	<-s.done
+	return s.rt
+}
+
+// SchedStats reports the session's shared-scheduler accounting (its
+// sched.Tenant): tasks submitted to the pool in total and tasks currently
+// submitted-but-unfinished. Usable live — this is the per-session view a
+// server dashboards while the session runs; after Wait/Done inflight
+// trends to zero.
+func (s *Session) SchedStats() (submitted, inflight int64) {
+	return s.tenant.Stats()
+}
+
+// QueueLatency is how long the session waited for admission before its
+// runtime started. Valid after Wait/Done.
+func (s *Session) QueueLatency() time.Duration {
+	<-s.done
+	return s.startedAt.Sub(s.queuedAt)
+}
+
+// Duration is the session's execution time, admission wait excluded.
+// Valid after Wait/Done.
+func (s *Session) Duration() time.Duration {
+	<-s.done
+	return s.finishedAt.Sub(s.startedAt)
+}
