@@ -313,6 +313,55 @@ func BenchmarkMicro_SpawnPooled(b *testing.B) {
 	}
 }
 
+// TestSpawnPathAllocs pins the spawn path's allocation budget after the
+// hot-path overhaul (DESIGN.md): a default spawn with one moved promise,
+// joined through that promise, allocates at most four objects under the
+// policy modes — the promise, the user's body closure, the task block,
+// and the child's owned-list seed (deliberately its own small heap
+// object; see Task.owned) — and three under Unverified, which tracks no
+// ownership. The goroutine itself comes from the runtime's spawn
+// freelist and the move path materializes no intermediate slices. With
+// task pooling the task block and its owned capacity recycle too,
+// leaving two. Thresholds carry half-an-alloc slack because the join may
+// rarely outlast the pre-block spin and install a wakeup channel.
+func TestSpawnPathAllocs(t *testing.T) {
+	for _, cfg := range []struct {
+		label string
+		limit float64
+		opts  []core.Option
+	}{
+		{"unverified", 3.5, []core.Option{core.WithMode(core.Unverified)}},
+		{"default", 4.5, []core.Option{core.WithMode(core.Full)}},
+		{"pooled", 2.5, []core.Option{core.WithMode(core.Full), core.WithTaskPooling(true)}},
+	} {
+		t.Run(cfg.label, func(t *testing.T) {
+			rt := core.NewRuntime(cfg.opts...)
+			if err := rt.Run(func(task *core.Task) error {
+				step, err := harness.SpawnFixture(task)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 200; i++ { // warm the freelists
+					if err := step(i); err != nil {
+						return err
+					}
+				}
+				got := testing.AllocsPerRun(500, func() {
+					if err := step(0); err != nil {
+						t.Error(err)
+					}
+				})
+				if got > cfg.limit {
+					t.Errorf("%s spawn: %v allocs/op, want <= %v", cfg.label, got, cfg.limit)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestFastPathAllocs pins the allocation story of the lock-free fast
 // paths (DESIGN.md):
 //

@@ -6,8 +6,10 @@
 // Usage:
 //
 //	benchtable [-scale small|default|paper] [-reps N] [-warmups N]
-//	           [-bench name] [-csv] [-json out.json]
+//	           [-bench name] [-csv] [-json out.json] [-history out.json]
 //	           [-detector lockfree|globallock] [-tracking list|counter]
+//	           [-check baseline.json [-checkreps N] [-checktol F]
+//	            [-alloccap name=N,...]]
 //
 // -scale paper selects the paper's workload sizes and measurement protocol
 // (30 reps, 5 warm-ups); the default scale finishes in a few minutes on a
@@ -27,7 +29,14 @@
 // all. Each micro is measured -checkreps times and the best run is
 // compared, which suppresses scheduler noise without hiding real
 // regressions; allocation counts are deterministic, so for them best-of is
-// exact.
+// exact. -alloccap "name=N,name=N" additionally enforces absolute
+// allocs/op ceilings per micro name (across every mode), so a hot path's
+// allocation budget is pinned even when the committed baseline drifts.
+//
+// -history FILE appends a compact record of each measured run (the micro
+// section plus the Table-1 geomeans) to FILE as a JSON array, giving the
+// perf trajectory a machine-readable, append-only form across PRs; the
+// checked-in BENCH_history.json is maintained this way.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -93,10 +103,65 @@ func writeJSON(path string, rep report) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// historyEntry is one appended record of BENCH_history.json: enough to
+// plot the fast-path and Table-1 trajectory without carrying the full
+// per-row confidence intervals.
+type historyEntry struct {
+	GeneratedAt         string          `json:"generated_at"`
+	Scale               string          `json:"scale"`
+	Mode                string          `json:"mode"`
+	Detector            string          `json:"detector"`
+	Tracking            string          `json:"tracking"`
+	GeomeanTimeOverhead float64         `json:"geomean_time_overhead,omitempty"`
+	GeomeanMemOverhead  float64         `json:"geomean_mem_overhead,omitempty"`
+	Micro               []harness.Micro `json:"micro"`
+}
+
+// appendHistory appends entry to the JSON array at path (creating it when
+// absent), so successive -json runs accumulate a machine-readable perf
+// trajectory across PRs.
+func appendHistory(path string, entry historyEntry) error {
+	var hist []historyEntry
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &hist); err != nil {
+			return fmt.Errorf("%s is not a benchtable history array: %w", path, err)
+		}
+	}
+	hist = append(hist, entry)
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// parseAllocCaps parses the -alloccap spec "name=N[,name=N...]" into a
+// per-micro-name ceiling map.
+func parseAllocCaps(spec string) (map[string]float64, error) {
+	caps := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("bad alloc cap %q (want name=N)", part)
+		}
+		v, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad alloc cap %q", part)
+		}
+		caps[part[:i]] = v
+	}
+	return caps, nil
+}
+
 // checkMicros is the -check gate: measure the fast-path micros reps times,
 // keep each entry's best run, and compare against the baseline report's
-// micro section. Returns the number of regressions.
-func checkMicros(baseline report, reps int, tol float64) (int, error) {
+// micro section. allocCaps adds absolute per-name allocs/op ceilings on
+// top of the no-growth rule. Returns the number of regressions.
+func checkMicros(baseline report, reps int, tol float64, allocCaps map[string]float64) (int, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -157,6 +222,10 @@ func checkMicros(baseline report, reps int, tol float64) (int, error) {
 			status = "ALLOC REGRESSION"
 			regressions++
 		}
+		if limit, ok := allocCaps[b.Name]; ok && math.Round(m.AllocsPerOp) > limit {
+			status = fmt.Sprintf("ALLOC CAP EXCEEDED (> %.0f)", limit)
+			regressions++
+		}
 		fmt.Printf("%-24s %-12s %10.1f %10.1f %+7.1f%% %8.0f %8.0f  %s\n",
 			b.Name, b.Mode, b.NsPerOp, m.NsPerOp, delta*100, b.AllocsPerOp, m.AllocsPerOp, status)
 	}
@@ -179,6 +248,8 @@ func main() {
 	check := flag.String("check", "", "regression-gate mode: compare fresh micros against this baseline JSON and exit nonzero on regression")
 	checkTol := flag.Float64("checktol", 0.25, "allowed fractional ns/op regression in -check mode")
 	checkReps := flag.Int("checkreps", 3, "measurement passes in -check mode (best run is compared)")
+	allocCap := flag.String("alloccap", "", `absolute allocs/op ceilings in -check mode: "name=N[,name=N...]"`)
+	history := flag.String("history", "", "append this run's micro section (and geomeans, when measured) to the JSON array at this path")
 	flag.Parse()
 
 	if *check != "" {
@@ -192,7 +263,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtable: %s is not a benchtable report with a micro section (%v)\n", *check, err)
 			os.Exit(1)
 		}
-		regressions, err := checkMicros(baseline, *checkReps, *checkTol)
+		caps, err := parseAllocCaps(*allocCap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+			os.Exit(2)
+		}
+		regressions, err := checkMicros(baseline, *checkReps, *checkTol, caps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
 			os.Exit(1)
@@ -271,7 +347,7 @@ func main() {
 		rows = append(rows, row)
 	}
 
-	if *jsonOut != "" {
+	if *jsonOut != "" || *history != "" {
 		fmt.Fprintf(os.Stderr, "[%s] measuring fast-path micros...\n", time.Now().Format("15:04:05"))
 		micros, err := harness.MeasureMicros([]core.Mode{core.Unverified, core.Ownership, core.Full})
 		if err != nil {
@@ -292,9 +368,28 @@ func main() {
 			GeomeanMemOverhead:  mOv,
 			Micro:               micros,
 		}
-		if err := writeJSON(*jsonOut, rep); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtable: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+		if *jsonOut != "" {
+			if err := writeJSON(*jsonOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+		if *history != "" {
+			entry := historyEntry{
+				GeneratedAt:         rep.GeneratedAt,
+				Scale:               rep.Scale,
+				Mode:                rep.Mode,
+				Detector:            rep.Detector,
+				Tracking:            rep.Tracking,
+				GeomeanTimeOverhead: rep.GeomeanTimeOverhead,
+				GeomeanMemOverhead:  rep.GeomeanMemOverhead,
+				Micro:               rep.Micro,
+			}
+			if err := appendHistory(*history, entry); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: history %s: %v\n", *history, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[%s] history appended to %s\n", time.Now().Format("15:04:05"), *history)
 		}
 	}
 

@@ -370,8 +370,8 @@ func main() {
 	}
 	fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %6d\n\n",
 		"total", totalRow.Sessions, totalRow.PerSec, totalSum.P50Ms, totalSum.P90Ms, totalSum.P99Ms, totalSum.MaxMs, falseVerdicts)
-	fmt.Printf("pool: peak %d in-flight, %d rejected, %d tasks, workers %d spawned / %d reused, %d dropped events\n",
-		ps.Peak, ps.Rejected, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.EventsDropped)
+	fmt.Printf("pool: peak %d in-flight, %d rejected, %d tasks, workers %d spawned / %d reused / %d thieves, %d steals, %d wakes, %d dropped events\n",
+		ps.Peak, ps.Rejected, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.WorkerThieves, ps.Steals, ps.Wakes, ps.EventsDropped)
 	fmt.Printf("goroutines: %d before, %d leaked after Close\n", goroutinesBefore, leaked)
 
 	if *jsonOut != "" {

@@ -45,10 +45,22 @@ type Event = trace.Event
 // installed); extra accumulates TraceTo sinks until NewRuntime builds
 // the collector. Keeping mem apart from extra is what gives repeated
 // WithEventLog options last-wins capacity semantics.
+//
+// staged selects the per-task staging path for event emission: a task's
+// events accumulate in a small task-local buffer (no shared atomics
+// beyond the sequence fetch) and flush to the collector in chunks — at
+// buffer capacity, before the task commits to a blocking wait, and at
+// task end. Sequence numbers are still reserved at the moment each
+// event is logged, so the reconstructed total order is identical to
+// direct emission; only delivery is deferred. Staging is enabled for
+// streaming-only runtimes (TraceTo) and disabled when WithEventLog's
+// MemSink is installed, because that sink exists for interactive
+// inspection (Runtime.Events mid-run), which staging would make stale.
 type tracer struct {
-	c     *trace.Collector
-	mem   *trace.MemSink
-	extra []trace.Sink
+	c      *trace.Collector
+	mem    *trace.MemSink
+	extra  []trace.Sink
+	staged bool
 }
 
 // ensureTracer returns the runtime's tracer, creating the pre-collector
@@ -72,6 +84,7 @@ func (r *Runtime) startTracer() {
 	if tr.mem != nil {
 		sinks = append([]trace.Sink{tr.mem}, tr.extra...)
 	}
+	tr.staged = tr.mem == nil
 	tr.c = trace.New(trace.Options{Sinks: sinks})
 	runtime.AddCleanup(r, func(c *trace.Collector) { c.Close() }, tr.c)
 }
@@ -162,6 +175,12 @@ func (r *Runtime) EventLog() string {
 	return b.String()
 }
 
+// stageCap is the per-task staging buffer's capacity. 32 events covers
+// the typical promise lifecycle burst a task emits between blocking
+// points; at ~90 bytes per Event the buffer stays under 3 KiB, and its
+// backing array is allocated once per task, on the task's first event.
+const stageCap = 32
+
 // logEvent records an event if tracing is enabled. Hot paths call it
 // behind a nil check on r.events, so disabled logging costs one branch.
 // Task and promise names are recorded raw ("" for the defaults, which
@@ -173,6 +192,13 @@ func (r *Runtime) logEvent(kind EventKind, t *Task, s *pstate, detail string) {
 
 // logEventArg is logEvent with the kind-specific argument (move
 // destination, spawn parent, alarm class — see trace.Event).
+//
+// Events attributed to a task are confined to that task's goroutine (the
+// one exception, EvTaskStart, is logged by the parent before the child
+// becomes runnable, which is a happens-before edge), so under the staged
+// tracer they append to the task's private buffer with no shared write
+// beyond the sequence reservation. Task-less events (run meta, run-end,
+// alarms) always emit directly.
 func (r *Runtime) logEventArg(kind EventKind, t *Task, s *pstate, arg uint64, detail string) {
 	e := Event{Kind: kind, Arg: arg, Detail: detail}
 	if t != nil {
@@ -181,7 +207,42 @@ func (r *Runtime) logEventArg(kind EventKind, t *Task, s *pstate, arg uint64, de
 	if s != nil {
 		e.PromiseID, e.PromiseLabel = s.id, s.label
 	}
-	r.events.c.Emit(e)
+	tr := r.events
+	if t == nil || !tr.staged {
+		tr.c.Emit(e)
+		return
+	}
+	e.Seq = tr.c.NextSeq()
+	if t.stage == nil {
+		t.stage = make([]Event, 0, stageCap)
+	}
+	t.stage = append(t.stage, e)
+	if len(t.stage) == stageCap {
+		r.flushStage(t)
+	}
+}
+
+// flushStage delivers the task's staged events to the collector and
+// resets the buffer, keeping its capacity (the buffer rides through the
+// task pool under WithTaskPooling). Entries are not zeroed on the hot
+// path — the array pins at most stageCap events' strings until they are
+// overwritten, and releaseTask scrubs it before a handle crosses tasks.
+func (r *Runtime) flushStage(t *Task) {
+	if len(t.stage) == 0 {
+		return
+	}
+	r.events.c.EmitStamped(t.stage)
+	t.stage = t.stage[:0]
+}
+
+// flushStageIfStaged is the pre-block hook: a task about to park (or
+// terminate) must not sit on undelivered events, both so mid-run flushes
+// see everything a quiescent task did and so a trace cut short at a hang
+// still contains the block record of every blocked task.
+func (r *Runtime) flushStageIfStaged(t *Task) {
+	if r.events != nil && r.events.staged {
+		r.flushStage(t)
+	}
 }
 
 // logAlarm records an alarm event annotated with its class and the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -170,6 +171,64 @@ func (p *Promise[T]) state() *pstate { return &p.s }
 // Task.Async.
 func (p *Promise[T]) Promises() []AnyPromise { return []AnyPromise{p} }
 
+// Spin budget of the pre-block wait: spinLoads single atomic loads catch
+// a producer fulfilling in parallel; spinYields runtime.Gosched rounds
+// let a freshly spawned producer goroutine run to its Set on a saturated
+// (or single) P. A microsecond-scale spin converts the dominant
+// spawn-then-join pattern from install-channel/park/wake — two context
+// switches and two allocations (the channel and its pointer cell) — into
+// a handful of loads, while a wait that outlasts the budget falls
+// through to the real block, so long waits and deadlock detection are
+// delayed by at most the budget.
+//
+// The spin is ADAPTIVE, per runtime (spinScore): spinning is pure waste
+// in dependency-chain workloads (Sieve-style), where waits are long and
+// every yield burns a scheduler round that the producers need — measured
+// at tens of percent of whole-program time on a saturated P. A success
+// nudges the score up; a failure slams it well below zero, so a phase of
+// chain-like waits shuts the spin off after one miss; each non-spinning
+// wait then drifts the score back up, re-probing roughly once every
+// spinRetryAfter blocked waits so a later spawn-join phase can re-enable
+// it. The score is read and written only on the slow path (the wait was
+// not already fulfilled), never on the fast path.
+const (
+	spinLoads      = 32
+	spinYields     = 4
+	spinScoreMax   = 8
+	spinRetryAfter = 32
+)
+
+// spinAwait reports whether s was fulfilled within the spin budget,
+// consulting and updating the runtime's adaptive score.
+func (r *Runtime) spinAwait(s *pstate) bool {
+	score := r.spinScore.Load()
+	if score < 0 {
+		// Disabled: drift back toward a re-probe. Lost updates under
+		// contention just delay the re-probe; the score is a heuristic.
+		r.spinScore.Store(score + 1)
+		return false
+	}
+	for i := 0; i < spinLoads; i++ {
+		if s.state.Load() == stateFulfilled {
+			if score < spinScoreMax {
+				r.spinScore.Store(score + 1)
+			}
+			return true
+		}
+	}
+	for i := 0; i < spinYields; i++ {
+		runtime.Gosched()
+		if s.state.Load() == stateFulfilled {
+			if score < spinScoreMax {
+				r.spinScore.Store(score + 1)
+			}
+			return true
+		}
+	}
+	r.spinScore.Store(-spinRetryAfter)
+	return false
+}
+
 // awaitState is the policy-checked blocking wait shared by Get and Await:
 // fast path, deadlock verification, idle-watch accounting, block. On a nil
 // return the promise is fulfilled (normally or exceptionally — the caller
@@ -183,6 +242,13 @@ func awaitState(t *Task, s *pstate) error {
 	// stateFulfilled acquires the payload published by Set. No waits-for
 	// edge is needed because no blocking occurs.
 	if s.state.Load() == stateFulfilled {
+		return nil
+	}
+	// Near-miss path: spin briefly before paying for a real block. Spin
+	// succeeding is observably the fast path (no waits-for edge existed,
+	// no block happened), so it is skipped when events are recorded —
+	// traced runs keep their deterministic block/wake pairs.
+	if r.events == nil && r.spinAwait(s) {
 		return nil
 	}
 	if r.idle != nil {
@@ -204,6 +270,7 @@ func awaitState(t *Task, s *pstate) error {
 				}
 				return err
 			}
+			r.flushStageIfStaged(t)
 			<-s.wake.wait()
 			r.gdet.afterWait(t)
 			if r.events != nil {
@@ -223,6 +290,9 @@ func awaitState(t *Task, s *pstate) error {
 			}
 			return err
 		}
+		// Drain the staging buffer before parking: a trace cut short at a
+		// hang must still contain every blocked task's block record.
+		r.flushStageIfStaged(t)
 		<-s.wake.wait()
 		// Requirement 3 (§5.1): the reset of waitingOn becomes visible only
 		// after the fulfilment of p is visible. Both wake paths order this
@@ -236,6 +306,7 @@ func awaitState(t *Task, s *pstate) error {
 		}
 		return nil
 	}
+	r.flushStageIfStaged(t)
 	<-s.wake.wait()
 	if r.events != nil {
 		r.logEvent(EvWake, t, s, "")
@@ -298,6 +369,7 @@ func (p *Promise[T]) GetTimeout(t *Task, d time.Duration) (T, error) {
 	}
 	if r.events != nil {
 		r.logEvent(EvBlock, t, &p.s, "timed")
+		r.flushStageIfStaged(t)
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()

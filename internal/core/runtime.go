@@ -216,6 +216,12 @@ type Runtime struct {
 
 	wg sync.WaitGroup
 
+	// The default executor's goroutine freelist (see spawner.go):
+	// parked goroutines awaiting the next spawn hand-off.
+	spawnMu     sync.Mutex
+	spawnFree   []*spawnWorker
+	spawnClosed bool
+
 	mu   sync.Mutex
 	errs []error
 
@@ -224,6 +230,10 @@ type Runtime struct {
 	tasks       atomic.Int64
 	gets        atomic.Int64
 	sets        atomic.Int64
+
+	// spinScore is the adaptive pre-block spin state (see spinAwait):
+	// >= 0 spin enabled, < 0 counting down to a re-probe.
+	spinScore atomic.Int32
 }
 
 // defaultDetector returns the detector used when WithDetector is absent:
@@ -296,9 +306,15 @@ func (r *Runtime) Run(main TaskFunc) error {
 		r.logEvent(trace.KindMeta, nil, nil,
 			fmt.Sprintf("mode=%s detector=%s tracking=%s", r.mode, r.detector, r.tracking))
 	}
+	r.spawnMu.Lock()
+	r.spawnClosed = false // re-arm the goroutine freelist for this run
+	r.spawnMu.Unlock()
 	root := r.newTask("main", nil)
 	r.startTask(root, main)
 	r.wg.Wait()
+	// The tree is unwound: release every parked spawn goroutine, so a
+	// finished runtime provably holds none.
+	r.drainSpawners()
 	err := r.Err()
 	if r.events != nil {
 		r.mu.Lock()

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStagedTracingCompleteStream runs a blocking, multi-task program
+// through the staged tracer (TraceTo with no MemSink installs staging)
+// and checks the decoded binary stream is complete and offline-
+// verifiable: every task's start/end present, zero drops, and the
+// block/wake structure consistent — i.e. staging defers delivery but
+// never loses, duplicates, or reorders beyond what Seq sorting recovers.
+func TestStagedTracingCompleteStream(t *testing.T) {
+	var buf bytes.Buffer
+	rt := NewRuntime(TraceTo(trace.NewWriterSink(&buf)))
+	const children = 12
+	err := run(t, rt, func(tk *Task) error {
+		ps := make([]*Promise[int], children)
+		var wg sync.WaitGroup
+		for i := 0; i < children; i++ {
+			ps[i] = NewPromise[int](tk)
+			i := i
+			wg.Add(1)
+			if _, e := tk.Async(func(c *Task) error {
+				defer wg.Done()
+				// Enough promise churn per child to roll the staging
+				// buffer over at least once (3 events per round trip).
+				for j := 0; j < stageCap; j++ {
+					p := NewPromise[int](c)
+					if e := p.Set(c, j); e != nil {
+						return e
+					}
+					if _, e := p.Get(c); e != nil {
+						return e
+					}
+				}
+				return ps[i].Set(c, i)
+			}, ps[i]); e != nil {
+				wg.Done()
+				return e
+			}
+		}
+		// The joins block and wake, exercising the pre-block stage flush.
+		for i := 0; i < children; i++ {
+			if _, e := ps[i].Get(tk); e != nil {
+				return e
+			}
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.TraceClose(); err != nil {
+		t.Fatal(err)
+	}
+	if d := rt.Stats().EventsDropped; d != 0 {
+		t.Fatalf("EventsDropped = %d, want 0", d)
+	}
+	evs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends := 0, 0
+	var prev uint64
+	for _, e := range evs {
+		switch e.Kind {
+		case EvTaskStart:
+			starts++
+		case EvTaskEnd:
+			ends++
+		}
+		if e.Seq != 0 {
+			if e.Seq == prev {
+				t.Fatalf("duplicate seq %d", e.Seq)
+			}
+			if e.Seq < prev {
+				t.Fatalf("seq order broken after sort: %d then %d", prev, e.Seq)
+			}
+			prev = e.Seq
+		}
+	}
+	if starts != children+1 || ends != children+1 {
+		t.Fatalf("task boundaries: %d starts / %d ends, want %d each", starts, ends, children+1)
+	}
+	rep := trace.Verify(evs)
+	if !rep.Clean() {
+		t.Fatalf("offline verifier rejected the staged stream: %+v", rep.Problems)
+	}
+}
+
+// TestStagedDeadlockTraceFlushedBeforeBlock: a deadlocking run's trace
+// must contain the cycle's block records even though the blocked tasks
+// never flush at task end on their own schedule — the pre-block flush is
+// what guarantees it. The offline verifier must re-walk the cycle.
+func TestStagedDeadlockTraceFlushedBeforeBlock(t *testing.T) {
+	mem := trace.NewMemSink(0)
+	rt := NewRuntime(TraceTo(mem))
+	err := rt.Run(func(tk *Task) error {
+		p := NewPromiseNamed[int](tk, "p")
+		q := NewPromiseNamed[int](tk, "q")
+		if _, e := tk.AsyncNamed("t2", func(t2 *Task) error {
+			if _, e := p.Get(t2); e != nil {
+				return e
+			}
+			return q.Set(t2, 0)
+		}, q); e != nil {
+			return e
+		}
+		if _, e := q.Get(tk); e != nil {
+			return e
+		}
+		return p.Set(tk, 0)
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if err := rt.TraceClose(); err != nil {
+		t.Fatal(err)
+	}
+	rep := trace.Verify(mem.Snapshot())
+	if !rep.Consistent() {
+		t.Fatalf("staged deadlock trace inconsistent: %v", rep.Problems)
+	}
+	if rep.Deadlocks != 1 {
+		t.Fatalf("deadlock alarms = %d, want 1", rep.Deadlocks)
+	}
+	for _, a := range rep.Alarms {
+		if a.Class == trace.AlarmDeadlock && (!a.CycleVerified || a.CycleLen != 2) {
+			t.Fatalf("cycle not re-verified offline from the staged stream: %+v", a)
+		}
+	}
+}

@@ -33,6 +33,14 @@ type Task struct {
 	// goroutine creation), so no locking is required. Removal is lazy, as
 	// in the paper's implementation: membership at termination is decided
 	// by re-checking owner == t.
+	//
+	// The backing array deliberately lives in its own small heap object
+	// (lazily, at the first noteOwned): seeding it inline in the Task
+	// block was tried and reverted — owner-side interface writes into
+	// the large long-lived Task object measured ~50% slower end to end
+	// on the churn-heavy verified workloads (Sieve) than writes into a
+	// dedicated small slice, and tasks that never own a promise pay
+	// nothing at all.
 	owned []AnyPromise
 
 	// ownedCount is the footprint-saving alternative under TrackCounter.
@@ -48,6 +56,13 @@ type Task struct {
 	// handle that was recycled mid-traversal — same pointer, different
 	// task — cannot satisfy the double-read owner check by pointer ABA.
 	gen atomic.Uint32
+
+	// stage is the task's trace staging buffer (see logEventArg): events
+	// this task emits accumulate here and flush to the collector in
+	// chunks. Confined to the task's goroutine (with the parent-to-child
+	// hand-off at spawn); nil until the task's first event, and nil
+	// forever when tracing is off or unstaged.
+	stage []Event
 
 	// waited is set (sticky) as the very first action of Wait. Under
 	// WithTaskPooling the terminating goroutine reads it after signalling
@@ -90,6 +105,14 @@ func (t *Task) Runtime() *Runtime { return t.rt }
 // Under WithTaskPooling, Wait is safe if it begins before the task
 // terminates (a waited-on handle is never recycled), but must not be a
 // handle's first use after termination; see the option's documentation.
+//
+// Under staged tracing, Wait does not flush the CALLING task's staging
+// buffer before blocking — Wait receives only the awaited handle, so
+// the caller (which may not be a task at all) is unknown here. A task
+// that parks in Wait can therefore withhold up to a buffer's worth of
+// its own already-sequenced events until it resumes; traces of programs
+// that hang inside Wait may be missing those records. Policy-visible
+// waits (Get/Await), the paper's model, always flush first.
 func (t *Task) Wait() error {
 	// The waited store MUST precede any gate access: it is the seq-cst
 	// marker the terminating goroutine checks before recycling the
@@ -180,22 +203,31 @@ func (t *Task) MustAsync(f TaskFunc, moved ...Movable) *Task {
 
 func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
 	r := t.rt
-	states := Flatten(moved...)
 	child := r.newTask(name, t)
-	if r.mode >= Ownership {
-		for _, ap := range states {
+	if r.mode >= Ownership && len(moved) > 0 {
+		// Two passes over the moved set — validate everything, then
+		// transfer everything — so a rejected spawn leaves ownership
+		// untouched. The passes iterate the arguments in place instead of
+		// materializing Flatten's []AnyPromise: the variadic slice then
+		// never escapes, and the overwhelmingly common case (one promise
+		// moved directly) walks zero intermediate slices. A *Promise[T]
+		// is its own AnyPromise, so only composite Movables (collections,
+		// Group) pay the Promises() expansion.
+		if err := eachMoved(moved, func(ap AnyPromise) error {
 			if owner := ap.state().owner.Load(); owner != t {
-				err := ownershipError("move", t, ap, owner)
-				r.alarm(err)
-				return nil, err
+				return ownershipError("move", t, ap, owner)
 			}
+			return nil
+		}); err != nil {
+			r.alarm(err)
+			return nil, err
 		}
-		for _, ap := range states {
+		eachMoved(moved, func(ap AnyPromise) error {
 			s := ap.state()
 			if s.owner.Load() == child {
 				// The same promise listed twice in one spawn (directly or
 				// through overlapping collections): transfer it once.
-				continue
+				return nil
 			}
 			s.owner.Store(child)
 			t.noteDischarged(ap)
@@ -205,10 +237,31 @@ func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
 				// verifier can track ownership without parsing the detail.
 				r.logEventArg(EvMove, t, s, child.id, "to "+child.displayName())
 			}
-		}
+			return nil
+		})
 	}
 	r.startTask(child, f)
 	return child, nil
+}
+
+// eachMoved applies fn to every promise the moved set expands to,
+// stopping at the first error. Direct AnyPromise arguments (every
+// *Promise[T]) are visited without expansion.
+func eachMoved(moved []Movable, fn func(AnyPromise) error) error {
+	for _, m := range moved {
+		if ap, ok := m.(AnyPromise); ok {
+			if err := fn(ap); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, ap := range m.Promises() {
+			if err := fn(ap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // outstanding returns the promises the task still owns at termination
@@ -268,14 +321,24 @@ func (r *Runtime) releaseTask(t *Task) {
 	t.owned = t.owned[:0]
 	t.ownedCount = 0
 	t.err = nil
+	// The staging buffer was flushed at task end; scrub the retained
+	// entries (they pin event strings) and keep the capacity — the
+	// buffer is part of the recycled block, so a pooled task's
+	// steady-state tracing allocates no buffers either.
+	stage := t.stage[:cap(t.stage)]
+	for i := range stage {
+		stage[i] = Event{}
+	}
+	t.stage = stage[:0]
 	t.done.reset()
 	r.taskPool.Put(t)
 }
 
 // startTask hands the task body to the executor. With the default executor
-// (r.exec == nil) the goroutine is started directly with t and f as
-// arguments — no closure is allocated for the spawn. A custom executor
-// receives the classic func() wrapper, since its interface demands one.
+// (r.exec == nil) the pair lands on a recycled goroutine from the
+// runtime's spawn freelist (see spawner.go) — no closure, and in steady
+// state no goroutine creation either. A custom executor receives the
+// classic func() wrapper, since its interface demands one.
 func (r *Runtime) startTask(t *Task, f TaskFunc) {
 	r.wg.Add(1)
 	r.tasks.Add(1)
@@ -290,7 +353,7 @@ func (r *Runtime) startTask(t *Task, f TaskFunc) {
 		r.logEventArg(EvTaskStart, t, nil, parent, "")
 	}
 	if r.exec == nil {
-		go r.runTask(t, f)
+		r.startGoroutine(t, f)
 		return
 	}
 	r.exec(func() { r.runTask(t, f) })
@@ -306,14 +369,18 @@ func (r *Runtime) runTask(t *Task, f TaskFunc) {
 	err := invokeTask(f, t)
 	err = r.finishTask(t, err)
 	t.err = err
-	t.done.signal()
 	if r.events != nil {
 		detail := ""
 		if err != nil {
 			detail = err.Error()
 		}
+		// Logged — and the staging buffer drained — before the done
+		// signal, so a waiter woken by Wait observes the task's complete
+		// event stream after one TraceFlush.
 		r.logEvent(EvTaskEnd, t, nil, detail)
+		r.flushStageIfStaged(t)
 	}
+	t.done.signal()
 	if r.registry != nil {
 		r.registry.removeTask(t.id)
 	}

@@ -40,26 +40,63 @@ type goPerTask struct{}
 
 func (goPerTask) Execute(f func()) { go f() }
 
-// Elastic is a grow-on-demand worker pool. Execute hands the function to
-// an idle worker if one is parked, otherwise starts a new worker. Workers
-// idle for longer than IdleTimeout are retired, bounding the parked
-// population over time.
+// dequeCap bounds each worker's ring deque. A power of two so the
+// head/tail cursors index with a mask. 256 jobs absorbs any realistic
+// submission burst from one spawning task; a full deque falls back to
+// seeding a fresh worker, which is the pre-deque behaviour.
+const (
+	dequeCap  = 256
+	dequeMask = dequeCap - 1
+)
+
+// Elastic is a grow-on-demand worker pool built around bounded per-worker
+// ring deques and randomized work stealing (v3).
 //
-// This is the work-queue-backed v2 design: instead of one shared
-// unbuffered jobs channel — which every submission and every parked
-// worker contended on, and which under a QSort-style spawn storm became
-// the pool's serialization point — each worker owns a 1-slot local queue.
-// Execute pops a parked worker off a LIFO stack (most recently parked
-// first, for cache warmth) and hands the job straight to that worker's
-// slot. The only shared state is the stack itself, held for a
-// pointer-sized push or pop; job transfer is uncontended.
+// The v2 design handed every submission to exactly one worker through a
+// 1-slot channel, waking (or spawning) one worker per task: a spawn storm
+// paid a park/unpark context switch per submission, serialized on the
+// parked-stack mutex. v3 decouples submission from wakeup:
+//
+//   - Execute appends the job to a worker's bounded ring deque (the
+//     "target": the most recently spawned or woken worker) and only
+//     guarantees that at least one SEARCHING worker exists — a worker
+//     that is draining deques rather than running a job. A burst of N
+//     submissions therefore wakes at most one parked worker; the rest of
+//     the pool ramps up through the wake cascade below, off the
+//     submitter's critical path.
+//   - Workers drain their own deque newest-first (cache warmth) and then
+//     steal oldest-first from a random other worker. Stealing is what
+//     redistributes a burst that landed on one deque.
+//   - The wake cascade: a searching worker that claims a job hands its
+//     searcher duty off before running it — if queued jobs remain and no
+//     other searcher exists, it wakes one parked worker (or spawns a
+//     thief). Worker count still grows one-per-blocked-task when every
+//     job blocks (the §6.3 requirement), but short tasks stop the
+//     cascade early and are served by a handful of workers.
+//
+// Liveness invariant (what makes the deques safe under §6.3): whenever
+// pending > 0 — a job is queued and unclaimed — at least one searching
+// worker exists, or one is about to be created. Producers enforce it
+// after every push (ensureSearcher), claimers re-establish it before
+// every job (the cascade), and parking workers re-check pending after
+// decrementing searching, so the seq-cst total order guarantees one side
+// of every push/park race sees the other. A queued job can therefore
+// never be stranded behind a blocked one: some worker that is not
+// running a job is always on its way.
 type Elastic struct {
 	idleTimeout time.Duration
 
 	mu        sync.Mutex
 	parked    []*worker // LIFO: oldest park at index 0, newest at the top
+	all       []*worker // every live worker (steal sweep source of truth)
 	cleanerOn bool
 	closed    bool
+
+	// snapshot is a copy-on-write view of all, so the steal sweep never
+	// takes the pool lock. target is the burst landing pad: the most
+	// recently spawned or woken worker, whose deque absorbs submissions.
+	snapshot atomic.Pointer[[]*worker]
+	target   atomic.Pointer[worker]
 
 	// stop wakes the cleaner immediately at Close instead of letting it
 	// sleep out its sweep interval; workers and cleaners let Close block
@@ -68,18 +105,38 @@ type Elastic struct {
 	workers  sync.WaitGroup
 	cleaners sync.WaitGroup
 
-	spawned atomic.Int64
-	reused  atomic.Int64
+	// pending counts queued-but-unclaimed jobs across every deque;
+	// searching counts workers between jobs (draining, stealing, or about
+	// to park). Together they carry the liveness invariant above.
+	pending   atomic.Int64
+	searching atomic.Int64
+
+	spawned atomic.Int64 // submissions that seeded a fresh worker
+	reused  atomic.Int64 // submissions served by an existing worker
+	thieves atomic.Int64 // unseeded workers spawned to drain backlog
+	steals  atomic.Int64 // jobs claimed from another worker's deque
+	wakes   atomic.Int64 // parked workers woken
 	live    atomic.Int64
 	busy    atomic.Int64
+	rngSeed atomic.Uint64
 }
 
-// worker is one pool goroutine and its local job slot. The 1-slot buffer
-// lets Execute hand off without waiting for the worker to reach its
-// receive, and lets a retiring worker drain a job that raced its retirement.
+// worker is one pool goroutine: a bounded ring deque of queued jobs, a
+// wakeup channel, and the park bookkeeping. The deque is guarded by a
+// plain mutex — push, pop, and steal are a handful of instructions under
+// it, submitters use TryLock so a contended deque diverts the push
+// rather than serializing the burst, and the randomized victim selection
+// keeps thieves from convoying on one lock.
 type worker struct {
-	slot     chan func()
-	parkedAt time.Time // guarded by Elastic.mu while the worker is parked
+	mu      sync.Mutex
+	buf     []func()
+	head    uint64 // steal side: oldest job
+	tail    uint64 // owner side: push/pop newest
+	retired bool   // set under mu before the final drain; refuses pushes
+
+	wake     chan struct{} // cap 1; closed to retire, sent to wake
+	parkedAt time.Time     // guarded by Elastic.mu while parked
+	rng      uint64        // xorshift state for steal victim selection
 }
 
 // NewElastic creates an elastic pool. idleTimeout controls how long an
@@ -92,35 +149,168 @@ func NewElastic(idleTimeout time.Duration) *Elastic {
 	return &Elastic{idleTimeout: idleTimeout, stop: make(chan struct{})}
 }
 
-// Execute schedules f on an idle worker, growing the pool if none is
-// available. It never blocks waiting for a worker. After Close, Execute
-// degrades to goroutine-per-task: a closed pool must still never bound the
-// number of concurrently blocked tasks (the §6.3 requirement holds for
-// stragglers submitted during shutdown), it just stops keeping workers.
+// push appends f to the deque. Reports false when the worker is retired
+// or the ring is full, or — when try is set — when the deque lock is
+// contended (the submitter has cheaper places to put the job than a
+// queue behind this lock). The pending increment is inside the critical
+// section so a claimer can never observe the job without its count.
+func (w *worker) push(e *Elastic, f func(), try bool) bool {
+	if try {
+		if !w.mu.TryLock() {
+			return false
+		}
+	} else {
+		w.mu.Lock()
+	}
+	if w.retired || w.tail-w.head == dequeCap {
+		w.mu.Unlock()
+		return false
+	}
+	w.buf[w.tail&dequeMask] = f
+	w.tail++
+	e.pending.Add(1)
+	w.mu.Unlock()
+	return true
+}
+
+// pop takes the newest job (the owner side: most recently pushed, cache
+// warm), or nil.
+func (w *worker) pop(e *Elastic) func() {
+	w.mu.Lock()
+	if w.tail == w.head {
+		w.mu.Unlock()
+		return nil
+	}
+	w.tail--
+	f := w.buf[w.tail&dequeMask]
+	w.buf[w.tail&dequeMask] = nil
+	e.pending.Add(-1)
+	w.mu.Unlock()
+	return f
+}
+
+// stealFrom takes the oldest job (FIFO from the steal side, so a burst
+// retains submission order across the pool), or nil.
+func (w *worker) stealFrom(e *Elastic) func() {
+	w.mu.Lock()
+	if w.tail == w.head {
+		w.mu.Unlock()
+		return nil
+	}
+	f := w.buf[w.head&dequeMask]
+	w.buf[w.head&dequeMask] = nil
+	w.head++
+	e.pending.Add(-1)
+	w.mu.Unlock()
+	return f
+}
+
+// Execute schedules f, growing the pool if no worker can absorb it. It
+// never blocks waiting for a worker. After Close, Execute degrades to
+// goroutine-per-task: a closed pool must still never bound the number of
+// concurrently blocked tasks (the §6.3 requirement holds for stragglers
+// submitted during shutdown), it just stops keeping workers.
 func (e *Elastic) Execute(f func()) {
-	if w := e.popParked(); w != nil {
+	// Burst fast path: land on the current target deque. One TryLock'd
+	// push plus the searcher check — no wakeup, no pool lock.
+	if t := e.target.Load(); t != nil && t.push(e, f, true) {
 		e.reused.Add(1)
-		w.slot <- f // buffered: never blocks, worker is committed to drain it
+		e.ensureSearcher()
 		return
 	}
+	// No target (cold pool), or its deque is contended/full/retired:
+	// claim a parked worker, seed its deque, and make it the new target.
+	if w := e.popParked(); w != nil {
+		if w.push(e, f, false) {
+			e.reused.Add(1)
+			e.target.Store(w)
+			e.wake(w)
+			return
+		}
+		// Its deque filled while it was parked (it was an earlier burst's
+		// target): wake it to drain and seed a fresh worker for f below.
+		e.wake(w)
+	}
+	e.spawnWorker(f, &e.spawned)
+}
+
+// wake marks w searching and delivers its wake token. The searching
+// increment precedes the send so that a concurrent ensureSearcher
+// observes the searcher before the woken worker runs a single
+// instruction. The send can never block: a token is sent only by the
+// claimer that removed w from the parked list, and w consumes it before
+// it can park again.
+func (e *Elastic) wake(w *worker) {
+	e.searching.Add(1)
+	e.wakes.Add(1)
+	w.wake <- struct{}{}
+}
+
+// ensureSearcher re-establishes the liveness invariant after a push or a
+// claim: if queued jobs exist but no worker is searching for them, wake a
+// parked worker, or spawn an unseeded thief when none is parked. Callers
+// invoke it only when pending may be non-zero.
+func (e *Elastic) ensureSearcher() {
+	if e.searching.Load() > 0 {
+		return
+	}
+	if w := e.popParked(); w != nil {
+		e.wake(w)
+		return
+	}
+	e.spawnWorker(nil, &e.thieves)
+}
+
+// spawnWorker registers and starts a new worker, seeded with f (which it
+// runs first) or unseeded (a thief: it goes straight to stealing).
+// counter attributes the spawn (submission-seeded vs thief). On a closed
+// pool the seed falls back to a bare goroutine.
+func (e *Elastic) spawnWorker(f func(), counter *atomic.Int64) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		go f()
+		if f != nil {
+			// The goroutine-per-task fallback still seeded a carrier for
+			// this submission: count it, so spawned+reused keeps equalling
+			// the submission total across the shutdown window.
+			counter.Add(1)
+			go f()
+		}
 		return
 	}
+	w := &worker{
+		buf:  make([]func(), dequeCap),
+		wake: make(chan struct{}, 1),
+		rng:  e.rngSeed.Add(0x9e3779b97f4a7c15) | 1,
+	}
 	// The worker is registered under the same critical section that
-	// checked closed, so a concurrent Close is guaranteed to wait for it.
+	// checked closed, so a concurrent Close is guaranteed to wait for it;
+	// it enters the steal snapshot before it can become the target, so a
+	// job pushed to it is always visible to the sweep.
+	//
+	// The published snapshot is a length-capped view of the append-only
+	// e.all: growth appends in place (amortized O(1), not a full copy
+	// per spawn — a 10k-worker storm must not pay O(n^2) on the spawn
+	// path), which is safe for concurrent stealers because their view's
+	// length was fixed before this element existed, and the atomic
+	// pointer store publishes the new element before any reader can
+	// index it. Only worker exit (rare) rebuilds the array, because
+	// removal would otherwise mutate slots visible through older views.
 	e.workers.Add(1)
+	e.all = append(e.all, w)
+	snap := e.all[:len(e.all):len(e.all)]
+	e.snapshot.Store(&snap)
 	e.mu.Unlock()
-	e.spawned.Add(1)
+	counter.Add(1)
 	e.live.Add(1)
-	w := &worker{slot: make(chan func(), 1)}
+	e.searching.Add(1) // every new worker starts in searching state
+	e.target.Store(w)
 	go w.run(e, f)
 }
 
 // popParked claims the most recently parked worker, or nil. A claimed
-// worker is off the stack, so the cleaner can no longer retire it.
+// worker is off the stack, so the cleaner can no longer retire it and no
+// other claimer can wake it.
 func (e *Elastic) popParked() *worker {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -134,46 +324,169 @@ func (e *Elastic) popParked() *worker {
 	return w
 }
 
+// tryUnpark removes w from the parked stack if it is still there,
+// cancelling its own park. Reports false when a claimer (or the cleaner)
+// got to it first — in which case a wake token or channel close is
+// already on its way.
+func (e *Elastic) tryUnpark(w *worker) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := len(e.parked) - 1; i >= 0; i-- {
+		if e.parked[i] == w {
+			copy(e.parked[i:], e.parked[i+1:])
+			e.parked[len(e.parked)-1] = nil
+			e.parked = e.parked[:len(e.parked)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// run is the worker loop: run the seed, then alternate claiming jobs
+// (own deque, then steal) with parking. The searching counter brackets
+// every between-jobs interval; see the liveness invariant on Elastic.
 func (w *worker) run(e *Elastic, f func()) {
 	defer func() {
+		w.drainOnExit(e)
+		e.mu.Lock()
+		// Exit rebuilds the worker array instead of swap-deleting in
+		// place: older published snapshots share this backing, and a
+		// stealer may be mid-iteration over them.
+		rebuilt := make([]*worker, 0, len(e.all))
+		for _, x := range e.all {
+			if x != w {
+				rebuilt = append(rebuilt, x)
+			}
+		}
+		e.all = rebuilt
+		snap := e.all[:len(e.all):len(e.all)]
+		e.snapshot.Store(&snap)
+		e.mu.Unlock()
 		e.live.Add(-1)
 		e.workers.Done()
 	}()
 	for {
+		if f == nil {
+			if f = e.findWork(w); f == nil {
+				return // retired or pool closed
+			}
+		}
+		// Hand searcher duty off BEFORE committing to the job: if f blocks
+		// forever, the queued jobs behind it still have a worker on the
+		// way. This is the wake cascade — each claimed job wakes at most
+		// one more worker, and only while backlog remains.
+		e.searching.Add(-1)
+		if e.pending.Load() > 0 {
+			e.ensureSearcher()
+		}
 		e.busy.Add(1)
 		f()
 		e.busy.Add(-1)
-		if !e.park(w) {
-			return // pool closed: exit instead of parking
-		}
-		var ok bool
-		if f, ok = <-w.slot; !ok {
-			return // retired by the cleaner or by Close
-		}
+		f = nil
+		e.searching.Add(1)
 	}
 }
 
-// park pushes w onto the idle stack and makes sure a cleaner goroutine is
-// watching for expirations. It reports false — without parking — when the
-// pool is closed, telling the worker to exit.
-func (e *Elastic) park(w *worker) bool {
-	e.mu.Lock()
-	if e.closed {
+// findWork claims the next job for w: own deque first, then a randomized
+// steal sweep, then park and wait. Returns nil when the worker should
+// exit (cleaner retirement or pool close). Caller holds searcher status;
+// on a nil return it has been released.
+func (e *Elastic) findWork(w *worker) func() {
+	for {
+		if f := w.pop(e); f != nil {
+			return f
+		}
+		if f := e.steal(w); f != nil {
+			return f
+		}
+		// Nothing found: park. Register on the stack first, then release
+		// searcher status, then re-check pending — the mirror image of the
+		// producer's push-then-check-searching. Under the seq-cst total
+		// order one side of any race sees the other, so a job pushed
+		// concurrently with this park either finds searching > 0 already
+		// handled, or is seen by the pending re-check below.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			e.searching.Add(-1)
+			return nil
+		}
+		w.parkedAt = time.Now()
+		e.parked = append(e.parked, w)
+		startCleaner := !e.cleanerOn
+		if startCleaner {
+			e.cleanerOn = true
+			e.cleaners.Add(1)
+		}
 		e.mu.Unlock()
-		return false
+		if startCleaner {
+			go e.cleaner()
+		}
+		e.searching.Add(-1)
+		if e.pending.Load() > 0 && e.tryUnpark(w) {
+			e.searching.Add(1)
+			continue
+		}
+		if _, ok := <-w.wake; !ok {
+			return nil // retired by the cleaner or released by Close
+		}
+		// Woken by a claimer, which already restored our searching count
+		// (and usually seeded our deque).
 	}
-	w.parkedAt = time.Now()
-	e.parked = append(e.parked, w)
-	startCleaner := !e.cleanerOn
-	if startCleaner {
-		e.cleanerOn = true
-		e.cleaners.Add(1)
+}
+
+// steal sweeps the worker snapshot from a random start, taking the
+// oldest job of the first non-empty deque. The randomized start keeps
+// thieves from convoying on the same victim.
+func (e *Elastic) steal(w *worker) func() {
+	snap := e.snapshot.Load()
+	if snap == nil {
+		return nil
 	}
-	e.mu.Unlock()
-	if startCleaner {
-		go e.cleaner()
+	victims := *snap
+	n := len(victims)
+	if n == 0 {
+		return nil
 	}
-	return true
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	start := int(w.rng % uint64(n))
+	for i := 0; i < n; i++ {
+		v := victims[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if f := v.stealFrom(e); f != nil {
+			e.steals.Add(1)
+			return f
+		}
+	}
+	return nil
+}
+
+// drainOnExit refuses further pushes and re-launches any job still
+// queued on the dying worker's deque as a bare goroutine. Leftovers are
+// rare — a retiring worker parked with an empty deque — but a burst can
+// land on a parked target between its park and its retirement, and those
+// jobs must survive the worker (§6.3: never strand, never bound).
+func (w *worker) drainOnExit(e *Elastic) {
+	w.mu.Lock()
+	w.retired = true
+	var leftover []func()
+	for w.head != w.tail {
+		leftover = append(leftover, w.buf[w.head&dequeMask])
+		w.buf[w.head&dequeMask] = nil
+		w.head++
+	}
+	w.mu.Unlock()
+	if len(leftover) == 0 {
+		return
+	}
+	e.pending.Add(-int64(len(leftover)))
+	for _, f := range leftover {
+		go f()
+	}
 }
 
 // cleaner retires workers parked for longer than the idle timeout. It runs
@@ -218,7 +531,7 @@ func (e *Elastic) cleaner() {
 		}
 		e.mu.Unlock()
 		for _, w := range expired {
-			close(w.slot) // worker sees ok=false and exits
+			close(w.wake) // worker sees ok=false, drains its deque, exits
 		}
 		if stop {
 			return
@@ -230,8 +543,8 @@ func (e *Elastic) cleaner() {
 // parked worker is released, and Close blocks until all pool goroutines —
 // busy workers included, which finish their current job first — and the
 // cleaner have exited. Jobs handed to Execute before Close still run to
-// completion; Execute after Close falls back to goroutine-per-task.
-// Close is idempotent and safe to call concurrently.
+// completion; Execute after Close falls back to goroutine-per-task. Close
+// is idempotent and safe to call concurrently.
 func (e *Elastic) Close() {
 	e.mu.Lock()
 	first := !e.closed
@@ -239,21 +552,67 @@ func (e *Elastic) Close() {
 	parked := e.parked
 	e.parked = nil
 	e.cleanerOn = false
+	all := e.all
 	e.mu.Unlock()
 	if first {
 		close(e.stop)
 	}
 	for _, w := range parked {
-		close(w.slot)
+		close(w.wake)
+	}
+	// Retire every deque and re-launch whatever was queued. Without this
+	// sweep, a submission racing Close can land on a busy worker's deque
+	// through the TryLock fast path after the closed flag is up — and if
+	// that worker's job never finishes, no searcher would ever be created
+	// for it (ensureSearcher refuses on a closed pool), stranding the job
+	// in violation of the shutdown guarantee above. Marking the deques
+	// retired also makes the race one-sided: a push lands either before
+	// its worker's mark (drained here or by the worker's own exit) or
+	// fails and falls through to the goroutine-per-task path.
+	for _, w := range all {
+		w.drainOnExit(e)
 	}
 	e.workers.Wait()
 	e.cleaners.Wait()
 }
 
-// Stats reports how many workers were spawned and how many task
-// submissions were satisfied by reusing an idle worker.
+// Stats reports how many submissions seeded a fresh worker and how many
+// were absorbed by existing workers (deque push or parked-worker wake).
+// Every Execute increments exactly one of the two, so spawned+reused is
+// the total submission count.
 func (e *Elastic) Stats() (spawned, reused int64) {
 	return e.spawned.Load(), e.reused.Load()
+}
+
+// SchedStats is the pool's full counter set.
+type SchedStats struct {
+	Spawned int64 // submissions that seeded a fresh worker
+	Reused  int64 // submissions absorbed by existing workers
+	Thieves int64 // unseeded workers spawned to drain queued backlog
+	Steals  int64 // jobs claimed from another worker's deque
+	Wakes   int64 // parked-worker wakeups
+	Live    int64 // current worker goroutines
+	Busy    int64 // workers currently running a job
+	Idle    int64 // workers currently parked
+	Pending int64 // jobs queued in deques, not yet claimed
+}
+
+// SchedStats returns a snapshot of every pool counter. Spawned+Reused is
+// the submission total; Thieves counts workers the wake cascade created
+// beyond those; Steals measures how much of the load was redistributed
+// off the burst target.
+func (e *Elastic) SchedStats() SchedStats {
+	return SchedStats{
+		Spawned: e.spawned.Load(),
+		Reused:  e.reused.Load(),
+		Thieves: e.thieves.Load(),
+		Steals:  e.steals.Load(),
+		Wakes:   e.wakes.Load(),
+		Live:    e.live.Load(),
+		Busy:    e.busy.Load(),
+		Idle:    int64(e.Idle()),
+		Pending: e.pending.Load(),
+	}
 }
 
 // Workers reports the pool's current population: live is every worker
@@ -274,8 +633,9 @@ func (e *Elastic) Idle() int {
 // Tenant is a per-client accounting view over a shared Elastic: each
 // session of a multi-runtime server submits through its own Tenant so the
 // server can attribute pool usage without the pool serializing on a shared
-// table. A Tenant adds two atomic counters per submission; job transfer is
-// the pool's uncontended path either way.
+// table. A Tenant adds two atomic counters per submission; the counters
+// travel with the job itself, so accounting stays exact no matter which
+// worker ultimately claims the job off a deque (steals included).
 type Tenant struct {
 	e    *Elastic
 	name string

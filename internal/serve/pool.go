@@ -227,8 +227,17 @@ type PoolStats struct {
 	TasksRun      int64 `json:"tasks_run"`      // sum of session task counts
 	EventsDropped int64 `json:"events_dropped"` // sum over traced sessions; 0 when healthy
 
-	WorkersSpawned int64 `json:"workers_spawned"` // shared-scheduler counters
+	// Shared-scheduler counters (sched.SchedStats). Spawned+Reused is
+	// the submission total; Thieves are cascade-spawned workers beyond
+	// those; Steals measures cross-worker load redistribution — a steal
+	// moves only the job, never its session attribution, because each
+	// session's sched.Tenant counters travel inside the submitted
+	// closure.
+	WorkersSpawned int64 `json:"workers_spawned"`
 	WorkersReused  int64 `json:"workers_reused"`
+	WorkerThieves  int64 `json:"worker_thieves"`
+	Steals         int64 `json:"steals"`
+	Wakes          int64 `json:"wakes"`
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -236,7 +245,7 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	waiting := int64(p.waiting)
 	p.mu.Unlock()
-	spawned, reused := p.exec.Stats()
+	ss := p.exec.SchedStats()
 	return PoolStats{
 		Submitted:        p.submitted.Load(),
 		Rejected:         p.rejected.Load(),
@@ -250,7 +259,10 @@ func (p *Pool) Stats() PoolStats {
 		Failed:           p.verdicts[VerdictFailed].Load(),
 		TasksRun:         p.tasksRun.Load(),
 		EventsDropped:    p.dropped.Load(),
-		WorkersSpawned:   spawned,
-		WorkersReused:    reused,
+		WorkersSpawned:   ss.Spawned,
+		WorkersReused:    ss.Reused,
+		WorkerThieves:    ss.Thieves,
+		Steals:           ss.Steals,
+		Wakes:            ss.Wakes,
 	}
 }

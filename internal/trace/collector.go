@@ -52,10 +52,11 @@ type Collector struct {
 	startOnce sync.Once
 	closeOnce sync.Once
 
-	mu     sync.Mutex // serializes drains and sink access
-	sinks  []Sink
-	err    error
-	closed bool
+	mu      sync.Mutex // serializes drains and sink access
+	sinks   []Sink
+	scratch []Event // reusable delivery batch (guarded by mu; sinks copy)
+	err     error
+	closed  bool
 }
 
 // New creates a collector delivering to opts.Sinks.
@@ -126,6 +127,72 @@ func (c *Collector) Emit(e Event) {
 		// Chunk full and our reservation overflowed: retire it (one
 		// writer wins the swap) and retry on the fresh chunk.
 		c.retire(sh, ch)
+	}
+}
+
+// NextSeq reserves and returns the next global sequence number, for
+// writers that stage events locally (the runtime's per-task staging
+// buffers) and deliver them later through EmitStamped. Reserving at the
+// moment the event logically happens is what keeps the staged stream's
+// total order consistent with every program order — delivery may lag,
+// but readers sort by Seq.
+func (c *Collector) NextSeq() uint64 { return c.seq.Add(1) }
+
+// EmitStamped records a batch of pre-stamped events (Seq already
+// assigned via NextSeq) that all belong to one task, and therefore one
+// shard. This is the flush half of the staging protocol: slot
+// reservation is batched — one atomic add reserves as many slots as fit
+// in the shard's current chunk — so the per-event hot-path cost
+// collapses to the sequence fetch and two plain copies. Each filled slot
+// is still published individually through its seq store, preserving the
+// slot-seq protocol the drain side (and the offline verifier's
+// completeness) depends on.
+func (c *Collector) EmitStamped(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if c.shutdown.Load() {
+		c.dropped.Add(uint64(len(evs)))
+		return
+	}
+	// Direct path: a staged batch is already in ascending Seq order, so
+	// when the delivery lock is free it can go straight to the sinks —
+	// no chunk traffic, no retire ring, no drain-goroutine round trip.
+	// Contention (another flusher, the background drain, a Flush) falls
+	// back to the lock-free chunk path below, so no writer ever waits.
+	if c.mu.TryLock() {
+		c.writeLocked(evs)
+		c.mu.Unlock()
+		return
+	}
+	sh := &c.shards[evs[0].TaskID&c.mask]
+	for len(evs) > 0 {
+		ch := sh.cur.Load()
+		if ch == nil {
+			sh.cur.CompareAndSwap(nil, new(chunk))
+			continue
+		}
+		n := uint32(len(evs))
+		i := ch.alloc.Add(n) - n
+		if i >= chunkEvents {
+			// Chunk already full and our whole reservation overflowed:
+			// retire it (one writer wins the swap) and retry.
+			c.retire(sh, ch)
+			continue
+		}
+		take := chunkEvents - i
+		if take > n {
+			take = n
+		}
+		for k := uint32(0); k < take; k++ {
+			s := &ch.slots[i+k]
+			s.ev = evs[k]
+			s.seq.Store(evs[k].Seq) // release: publishes s.ev per slot
+		}
+		if i+take == chunkEvents {
+			c.retire(sh, ch) // eager hand-off of the now-full chunk
+		}
+		evs = evs[take:]
 	}
 }
 
@@ -214,7 +281,10 @@ func (c *Collector) deliverChunkLocked(ch *chunk) {
 	if start >= n {
 		return
 	}
-	batch := make([]Event, 0, n-start)
+	// The delivery batch is a reusable scratch slice (sinks copy what
+	// they keep), so steady-state draining allocates nothing beyond what
+	// the sinks themselves do.
+	batch := c.scratch[:0]
 	for i := start; i < n; i++ {
 		s := &ch.slots[i]
 		for s.seq.Load() == 0 {
@@ -227,10 +297,26 @@ func (c *Collector) deliverChunkLocked(ch *chunk) {
 }
 
 // deliverLocked materializes any pending gap record, sorts the batch,
-// and writes it to every sink, remembering the first sink error. A nil
-// batch still delivers a pending gap (the Flush/Close path uses that to
-// record drops that were never followed by a surviving chunk).
+// and writes it to every sink. A nil batch still delivers a pending gap
+// (the Flush/Close path uses that to record drops that were never
+// followed by a surviving chunk). The batch's backing array is retained
+// as the next drain's scratch, so callers must pass either the scratch
+// itself or a batch they no longer own.
 func (c *Collector) deliverLocked(batch []Event) {
+	if batch != nil {
+		// Remember the backing array for the next drain. The scratch pins
+		// at most one chunk's worth of events between deliveries; sinks
+		// copy, so handing them the scratch is safe.
+		c.scratch = batch[:0]
+	}
+	c.writeLocked(batch)
+}
+
+// writeLocked is deliverLocked without the scratch capture, for batches
+// the collector must not retain (EmitStamped's direct path delivers the
+// runtime's staging buffers in place). It remembers the first sink
+// error. Caller holds c.mu.
+func (c *Collector) writeLocked(batch []Event) {
 	if g := c.gap.Swap(0); g > 0 {
 		batch = append(batch, Event{
 			Seq:    c.seq.Add(1),

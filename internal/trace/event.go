@@ -155,7 +155,19 @@ func (e Event) String() string {
 // SortBySeq stable-sorts events by sequence number in place. Collector
 // batches are near-sorted (sorted within a batch, interleaved across
 // shards), so readers call this once after decoding to recover the total
-// order. Seq-0 records (recorder preambles) sort first.
+// order. Seq-0 records (recorder preambles) sort first. Already-sorted
+// input — every staged batch, and any single-task stream — is detected
+// with one linear scan and returned untouched.
 func SortBySeq(evs []Event) {
+	sorted := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq < evs[i-1].Seq {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
 }
