@@ -24,6 +24,16 @@
 //	    msg, err := p.Get(t)
 //	    ...
 //	})
+//
+// The blocking surface is context-first: Runtime.RunContext runs a
+// program under a cancellation scope (cancelling it unblocks every
+// descendant's wait — structured cancellation, with ownership blame still
+// reported on the way down), Promise.GetContext / AwaitContext bound a
+// single wait, and Pool.Submit takes a ctx covering a session's admission
+// wait and execution (a cancelled session classifies as VerdictCanceled).
+// Cancellation is not an alarm: the deadlock detector keeps its
+// alarm-iff-deadlock precision, and a cancelled run's trace still passes
+// offline verification (every block closed by a wake, detail "cancel").
 package repro
 
 import (
@@ -65,6 +75,10 @@ type (
 	// EventKind classifies event-log entries.
 	EventKind = core.EventKind
 
+	// CanceledError reports a wait or run abandoned because its context
+	// was canceled or reached its deadline (not an alarm: cancellation
+	// proves nothing about the program).
+	CanceledError = core.CanceledError
 	// OwnershipError reports a set/move by a non-owner.
 	OwnershipError = core.OwnershipError
 	// DoubleSetError reports a second fulfilment.
@@ -137,6 +151,9 @@ var (
 	TraceTo = core.TraceTo
 	// Await is the type-erased policy-checked wait (see core.Await).
 	Await = core.Await
+	// AwaitContext is Await bounded by a context: the wait aborts with a
+	// CanceledError when ctx is canceled or reaches its deadline.
+	AwaitContext = core.AwaitContext
 )
 
 // Trace subsystem surface (see internal/trace): the sink types TraceTo
@@ -192,6 +209,9 @@ const (
 	VerdictPolicy = serve.VerdictPolicy
 	// VerdictFailed marks any other failure.
 	VerdictFailed = serve.VerdictFailed
+	// VerdictCanceled marks a session whose caller gave up: its context
+	// ended (queued or mid-flight), or Pool.Close aborted its admission.
+	VerdictCanceled = serve.VerdictCanceled
 )
 
 var (
@@ -205,7 +225,8 @@ var (
 	ErrPoolClosed = serve.ErrPoolClosed
 )
 
-// ErrTimeout is returned by Runtime.RunWithTimeout on a hang.
+// ErrTimeout is returned by Runtime.RunWithTimeout on a hang, and is the
+// cancellation cause RunWithTimeout's deadline context carries.
 var ErrTimeout = core.ErrTimeout
 
 // ErrAwaitTimeout is returned by Promise.GetTimeout at its deadline.

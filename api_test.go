@@ -5,6 +5,7 @@ package repro_test
 // as the executable version of the README's examples.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -155,6 +156,7 @@ func TestFacadeGroupAndMovable(t *testing.T) {
 
 func TestFacadeRunWithTimeout(t *testing.T) {
 	rt := repro.NewRuntime(repro.WithMode(repro.Unverified))
+	//lint:ignore SA1019 the deprecated shim's contract is exactly what this test pins
 	err := rt.RunWithTimeout(100*time.Millisecond, func(tk *repro.Task) error {
 		p := repro.NewPromise[int](tk)
 		_, e := p.Get(tk)
@@ -165,12 +167,81 @@ func TestFacadeRunWithTimeout(t *testing.T) {
 	}
 }
 
+// TestFacadeContextFirst is the executable form of the ctx-first README
+// section: a run scope cancels every descendant's blocked wait, the
+// per-wait form reports a typed CanceledError, and the alarm machinery
+// stays quiet (cancellation is not a verdict on the program).
+func TestFacadeContextFirst(t *testing.T) {
+	var alarms int
+	rt := repro.NewRuntime(repro.WithAlarmHandler(func(error) { alarms++ }))
+	ctx, cancel := context.WithCancel(t.Context())
+	err := rt.RunContext(ctx, func(tk *repro.Task) error {
+		p := repro.NewPromiseNamed[string](tk, "reply")
+		if _, err := tk.Async(func(c *repro.Task) error {
+			cancel() // the caller hangs up while the child still owes p
+			<-c.Context().Done()
+			time.Sleep(20 * time.Millisecond) // let the canceled wait win decisively
+			return p.Set(c, "too late")
+		}, p); err != nil {
+			return err
+		}
+		_, e := p.GetContext(ctx, tk)
+		var ce *repro.CanceledError
+		if !errors.As(e, &ce) {
+			return fmt.Errorf("GetContext = %v, want CanceledError", e)
+		}
+		if ce.PromiseLabel != "reply" {
+			return fmt.Errorf("canceled wait blames %q", ce.PromiseLabel)
+		}
+		return e
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled in the chain", err)
+	}
+	var ce *repro.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunContext = %v, want a CanceledError", err)
+	}
+	if alarms != 0 {
+		t.Fatalf("cancellation raised %d alarms, want 0", alarms)
+	}
+}
+
+func TestFacadePoolSessionCancel(t *testing.T) {
+	pool := repro.NewPool(repro.PoolConfig{MaxSessions: 2})
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(t.Context())
+	sess, err := pool.Submit(ctx, "hung-client", func(tk *repro.Task) error {
+		p := repro.NewPromise[int](tk)
+		if _, err := tk.Async(func(c *repro.Task) error {
+			<-c.Context().Done()
+			time.Sleep(20 * time.Millisecond) // let the canceled wait win decisively
+			return p.Set(c, 0)
+		}, p); err != nil {
+			return err
+		}
+		_, e := p.Get(tk)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	sess.Wait()
+	if got := sess.Verdict(); got != repro.VerdictCanceled {
+		t.Fatalf("verdict %s, want canceled (err: %v)", got, sess.Err())
+	}
+	if got := repro.ClassifyVerdict(sess.Err()); got != repro.VerdictCanceled {
+		t.Fatalf("ClassifyVerdict = %s", got)
+	}
+}
+
 // TestFacadePool is the executable form of the quickstart README's
 // serving-layer example: isolated sessions over one shared scheduler,
 // verdicts per session, saturation as a typed error.
 func TestFacadePool(t *testing.T) {
 	pool := repro.NewPool(repro.PoolConfig{MaxSessions: 4, QueueDepth: 8})
-	clean, err := pool.Submit("clean", func(tk *repro.Task) error {
+	clean, err := pool.Submit(t.Context(), "clean", func(tk *repro.Task) error {
 		p := repro.NewPromise[string](tk)
 		if _, err := tk.Async(func(c *repro.Task) error { return p.Set(c, "hi") }, p); err != nil {
 			return err
@@ -181,7 +252,7 @@ func TestFacadePool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cycle, err := pool.Submit("cycle", func(tk *repro.Task) error {
+	cycle, err := pool.Submit(t.Context(), "cycle", func(tk *repro.Task) error {
 		p := repro.NewPromise[int](tk)
 		q := repro.NewPromise[int](tk)
 		if _, err := tk.Async(func(c *repro.Task) error {
@@ -210,7 +281,7 @@ func TestFacadePool(t *testing.T) {
 		t.Fatalf("ClassifyVerdict = %s", got)
 	}
 	pool.Close()
-	if _, err := pool.Submit("late", func(tk *repro.Task) error { return nil }); !errors.Is(err, repro.ErrPoolClosed) {
+	if _, err := pool.Submit(t.Context(), "late", func(tk *repro.Task) error { return nil }); !errors.Is(err, repro.ErrPoolClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
 	stats := pool.Stats()

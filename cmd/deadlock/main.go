@@ -34,6 +34,16 @@ import (
 	"repro/internal/trace"
 )
 
+// runFrozen runs main with a demo deadline, abandoning — NOT cancelling —
+// the task tree if it hangs: the blocked tasks stay frozen so -dot can
+// snapshot the stuck state. One implementation exists — the deprecated
+// shim, itself a RunDetached wrapper whose deadline cause is ErrTimeout,
+// so report() classifies hangs as before.
+func runFrozen(rt *core.Runtime, d time.Duration, main core.TaskFunc) error {
+	//lint:ignore SA1019 the demos deliberately keep the shim's freeze-the-hang contract
+	return rt.RunWithTimeout(d, main)
+}
+
 func main() {
 	demo := flag.String("demo", "all", "which listing to run: listing1, listing2, listing3, all")
 	modeFlag := flag.String("mode", "full", "runtime mode: unverified, ownership, full")
@@ -174,7 +184,7 @@ func report(name string, rt *core.Runtime, err error) {
 func listing1(mode core.Mode, dot bool) {
 	rt := newRT(mode, dot)
 	stop := make(chan struct{})
-	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+	err := runFrozen(rt, 2*time.Second, func(root *core.Task) error {
 		p := core.NewPromiseNamed[int](root, "p")
 		q := core.NewPromiseNamed[int](root, "q")
 		if _, err := root.AsyncNamed("t1", func(t1 *core.Task) error {
@@ -210,7 +220,7 @@ func listing1(mode core.Mode, dot bool) {
 // t4, and t4 forgets.
 func listing2(mode core.Mode, dot bool) {
 	rt := newRT(mode, dot)
-	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+	err := runFrozen(rt, 2*time.Second, func(root *core.Task) error {
 		r := core.NewPromiseNamed[int](root, "r")
 		s := core.NewPromiseNamed[int](root, "s")
 		if _, err := root.AsyncNamed("t3", func(t3 *core.Task) error { // should set r, s
@@ -237,7 +247,7 @@ func listing2(mode core.Mode, dot bool) {
 // consumer of the download hangs.
 func listing3(mode core.Mode, dot bool) {
 	rt := newRT(mode, dot)
-	err := rt.RunWithTimeout(2*time.Second, func(root *core.Task) error {
+	err := runFrozen(rt, 2*time.Second, func(root *core.Task) error {
 		cf := core.NewPromiseNamed[struct{}](root, "cf") // the download future
 		if _, err := root.AsyncNamed("onComplete", func(cb *core.Task) error {
 			streamChecksum, computedChecksum := 0xBAD, 0xF00D

@@ -8,8 +8,8 @@
 //
 //	loadgen [-sessions N] [-queue N] [-drivers N] [-d duration] [-mix all|spec]
 //	        [-scale small|default|paper] [-mode full|ownership|unverified]
-//	        [-detector lockfree|globallock] [-inject frac] [-seed N]
-//	        [-json file] [-v]
+//	        [-detector lockfree|globallock] [-inject frac] [-deadline spec]
+//	        [-seed N] [-json file] [-v]
 //
 // -drivers sets the closed-loop submitter count; the default,
 // sessions+queue, keeps both admission tiers full without rejections,
@@ -25,6 +25,17 @@
 // on dropped trace events or leaked goroutines after Pool.Close, so the
 // nightly soak job fails loudly.
 //
+// -deadline mixes per-session deadlines into the traffic: a
+// comma-separated list of DUR[:weight] classes ("5ms:1,none:9" gives one
+// session in ten a 5 ms deadline), drawn independently of the scenario.
+// The deadline context is passed to Pool.Submit, so it covers both the
+// admission-queue wait and the execution; a session that overruns it is
+// cancelled mid-flight and must classify as canceled — for a
+// deadline-carrying session both its scenario's expected verdict (it beat
+// the deadline) and canceled count as correct, anything else is a false
+// verdict. A class of "none" (or "0") means no deadline; omitting it
+// gives EVERY session a deadline drawn from the listed classes.
+//
 // -json writes the report as JSON. If the target file already exists and
 // is a benchtable report (BENCH_table1.json), the report is merged in
 // under a "serve" key, leaving every other section untouched — the serve
@@ -32,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -122,11 +134,72 @@ func parseMix(spec string, scale workloads.Scale) ([]scenario, error) {
 	return out, nil
 }
 
+// deadlineClass is one entry of the -deadline mix: sessions drawing it
+// run under a d deadline (0 = none).
+type deadlineClass struct {
+	d      time.Duration
+	weight int
+}
+
+// parseDeadlines parses the -deadline spec: "DUR[:weight],..." with
+// "none"/"0" as the no-deadline class. An empty spec means no deadline
+// injection at all.
+func parseDeadlines(spec string) ([]deadlineClass, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []deadlineClass
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		durStr, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			durStr = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+			weight = w
+		}
+		var d time.Duration
+		if durStr != "none" && durStr != "0" {
+			var err error
+			d, err = time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("bad deadline %q", durStr)
+			}
+		}
+		out = append(out, deadlineClass{d: d, weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty deadline spec %q", spec)
+	}
+	return out, nil
+}
+
+// drawDeadline picks a class by weight; 0 means no deadline.
+func drawDeadline(rng *rand.Rand, classes []deadlineClass, total int) time.Duration {
+	if len(classes) == 0 {
+		return 0
+	}
+	w := rng.Intn(total)
+	for _, c := range classes {
+		if w -= c.weight; w < 0 {
+			return c.d
+		}
+	}
+	return 0
+}
+
 // scenarioStat accumulates one scenario's results across the run.
 type scenarioStat struct {
-	hist  *harness.Histogram
-	count int64
-	bad   int64 // sessions whose verdict differed from the scenario's expectation
+	hist      *harness.Histogram
+	count     int64
+	deadlined int64 // sessions submitted with an injected deadline
+	canceled  int64 // sessions that classified as canceled
+	bad       int64 // sessions whose verdict differed from the scenario's expectation
 }
 
 // scenarioReport is the per-scenario row of the JSON report.
@@ -134,6 +207,8 @@ type scenarioReport struct {
 	Name          string  `json:"name"`
 	Sessions      int64   `json:"sessions"`
 	PerSec        float64 `json:"sessions_per_sec"`
+	Deadlined     int64   `json:"deadlined"`
+	Canceled      int64   `json:"canceled"`
 	FalseVerdicts int64   `json:"false_verdicts"`
 	harness.HistSummary
 }
@@ -149,6 +224,7 @@ type serveReport struct {
 	Detector    string           `json:"detector"`
 	Mix         string           `json:"mix"`
 	Inject      float64          `json:"inject"`
+	Deadline    string           `json:"deadline,omitempty"`
 	Scenarios   []scenarioReport `json:"scenarios"`
 	Total       scenarioReport   `json:"total"`
 	Pool        serve.PoolStats  `json:"pool"`
@@ -190,6 +266,7 @@ func main() {
 	modeFlag := flag.String("mode", "full", "verification mode: unverified, ownership, full")
 	detector := flag.String("detector", "lockfree", "detector in full mode: lockfree, globallock")
 	inject := flag.Float64("inject", 0, "probability in [0,1) of swapping a draw for the Deadlock scenario")
+	deadlineSpec := flag.String("deadline", "", `per-session deadline mix: "DUR[:weight],..." ("5ms:1,none:9"; "none"/"0" = no deadline)`)
 	seed := flag.Int64("seed", 1, "mix-draw RNG seed")
 	jsonOut := flag.String("json", "", `write/merge the report as JSON ("serve" section of a benchtable file)`)
 	verbose := flag.Bool("v", false, "log each rejected submission and scenario totals as they close")
@@ -200,6 +277,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
+	}
+	deadlines, err := parseDeadlines(*deadlineSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	deadlineWeight := 0
+	for _, c := range deadlines {
+		deadlineWeight += c.weight
 	}
 	var opts []core.Option
 	switch *modeFlag {
@@ -271,8 +357,8 @@ func main() {
 	if nDrivers <= 0 {
 		nDrivers = *sessions + *queue
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d sessions, queue %d, %d drivers, mix %q, %v, scale=%s mode=%s detector=%s inject=%g\n",
-		*sessions, *queue, nDrivers, *mix, *dur, *scaleFlag, *modeFlag, *detector, *inject)
+	fmt.Fprintf(os.Stderr, "loadgen: %d sessions, queue %d, %d drivers, mix %q, %v, scale=%s mode=%s detector=%s inject=%g deadline=%q\n",
+		*sessions, *queue, nDrivers, *mix, *dur, *scaleFlag, *modeFlag, *detector, *inject, *deadlineSpec)
 	deadline := time.Now().Add(*dur)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -294,8 +380,17 @@ func main() {
 						}
 					}
 				}
-				sess, err := pool.Submit(sc.name, sc.prog())
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				dl := drawDeadline(rng, deadlines, deadlineWeight)
+				if dl > 0 {
+					ctx, cancel = context.WithTimeout(ctx, dl)
+				}
+				sess, err := pool.Submit(ctx, sc.name, sc.prog())
 				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
 					if *verbose {
 						fmt.Fprintf(os.Stderr, "loadgen: submit %s: %v\n", sc.name, err)
 					}
@@ -303,17 +398,38 @@ func main() {
 					continue
 				}
 				sess.Wait()
+				if cancel != nil {
+					cancel()
+				}
+				got := sess.Verdict()
+				// A deadline-carrying session legitimately ends either way:
+				// it beat the deadline (its scenario's expected verdict) or
+				// the deadline won (canceled). Everything else — and any
+				// canceled verdict WITHOUT an injected deadline — is false.
+				okVerdict := got == sc.want || (dl > 0 && got == serve.VerdictCanceled)
 				statsMu.Lock()
 				st := stats[sc.name]
 				st.count++
-				if sess.Verdict() != sc.want {
+				if dl > 0 {
+					st.deadlined++
+				}
+				if got == serve.VerdictCanceled {
+					st.canceled++
+				}
+				if !okVerdict {
 					st.bad++
 					fmt.Fprintf(os.Stderr, "loadgen: FALSE VERDICT %s: got %s want %s: %v\n",
-						sc.name, sess.Verdict(), sc.want, sess.Err())
+						sc.name, got, sc.want, sess.Err())
 				}
 				statsMu.Unlock()
-				st.hist.Observe(sess.Duration())
-				total.Observe(sess.Duration())
+				// Sessions aborted in the admission queue never built a
+				// runtime: their zero Duration is not a latency sample and
+				// would drag the percentiles (and the committed serve
+				// baseline) down artificially.
+				if sess.Runtime() != nil {
+					st.hist.Observe(sess.Duration())
+					total.Observe(sess.Duration())
+				}
 			}
 		}(d)
 	}
@@ -345,8 +461,9 @@ func main() {
 	var falseVerdicts int64
 	fmt.Printf("serve load report: %d sessions completed in %v (%.1f/s aggregate)\n\n",
 		ps.Completed, elapsed.Round(time.Millisecond), float64(ps.Completed)/elapsed.Seconds())
-	fmt.Printf("%-16s %9s %9s %9s %9s %9s %9s %6s\n",
-		"scenario", "sessions", "thr(/s)", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "false")
+	var deadlined, canceledTotal int64
+	fmt.Printf("%-16s %9s %9s %9s %9s %9s %9s %8s %6s\n",
+		"scenario", "sessions", "thr(/s)", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "cancel", "false")
 	for _, name := range names {
 		st := stats[name]
 		sum := st.hist.Summary()
@@ -354,24 +471,29 @@ func main() {
 			Name:          name,
 			Sessions:      st.count,
 			PerSec:        float64(st.count) / elapsed.Seconds(),
+			Deadlined:     st.deadlined,
+			Canceled:      st.canceled,
 			FalseVerdicts: st.bad,
 			HistSummary:   sum,
 		}
 		rows = append(rows, row)
 		falseVerdicts += st.bad
-		fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %6d\n",
-			name, row.Sessions, row.PerSec, sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.MaxMs, st.bad)
+		deadlined += st.deadlined
+		canceledTotal += st.canceled
+		fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %8d %6d\n",
+			name, row.Sessions, row.PerSec, sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.MaxMs, st.canceled, st.bad)
 	}
 	totalSum := total.Summary()
 	totalRow := scenarioReport{
 		Name: "total", Sessions: ps.Completed,
-		PerSec: float64(ps.Completed) / elapsed.Seconds(), FalseVerdicts: falseVerdicts,
+		PerSec:    float64(ps.Completed) / elapsed.Seconds(),
+		Deadlined: deadlined, Canceled: canceledTotal, FalseVerdicts: falseVerdicts,
 		HistSummary: totalSum,
 	}
-	fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %6d\n\n",
-		"total", totalRow.Sessions, totalRow.PerSec, totalSum.P50Ms, totalSum.P90Ms, totalSum.P99Ms, totalSum.MaxMs, falseVerdicts)
-	fmt.Printf("pool: peak %d in-flight, %d rejected, %d tasks, workers %d spawned / %d reused / %d thieves, %d steals, %d wakes, %d dropped events\n",
-		ps.Peak, ps.Rejected, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.WorkerThieves, ps.Steals, ps.Wakes, ps.EventsDropped)
+	fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %8d %6d\n\n",
+		"total", totalRow.Sessions, totalRow.PerSec, totalSum.P50Ms, totalSum.P90Ms, totalSum.P99Ms, totalSum.MaxMs, canceledTotal, falseVerdicts)
+	fmt.Printf("pool: peak %d in-flight, %d rejected, %d canceled (%d deadline-injected), %d tasks, workers %d spawned / %d reused / %d thieves, %d steals, %d wakes, %d dropped events\n",
+		ps.Peak, ps.Rejected, ps.Canceled, deadlined, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.WorkerThieves, ps.Steals, ps.Wakes, ps.EventsDropped)
 	fmt.Printf("goroutines: %d before, %d leaked after Close\n", goroutinesBefore, leaked)
 
 	if *jsonOut != "" {
@@ -385,6 +507,7 @@ func main() {
 			Detector:    *detector,
 			Mix:         *mix,
 			Inject:      *inject,
+			Deadline:    *deadlineSpec,
 			Scenarios:   rows,
 			Total:       totalRow,
 			Pool:        ps,

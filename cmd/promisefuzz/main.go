@@ -41,6 +41,16 @@ import (
 	"repro/internal/trace"
 )
 
+// runFrozen is the hang-tolerant demo driver: run main, and if it has
+// not finished after d, abandon the frozen task tree (no cancellation,
+// so the hang stays observable) and report ErrTimeout. One
+// implementation exists — the deprecated shim, itself a RunDetached
+// wrapper — and the demos are its intended remaining users.
+func runFrozen(rt *core.Runtime, d time.Duration, main core.TaskFunc) error {
+	//lint:ignore SA1019 the demos deliberately keep the shim's freeze-the-hang contract
+	return rt.RunWithTimeout(d, main)
+}
+
 func main() {
 	trials := flag.Int("n", 100, "number of random programs per family")
 	base := flag.Int64("seed", time.Now().UnixNano()%1_000_000, "base seed (printed for replay)")
@@ -161,7 +171,7 @@ func runTrial(record, family string, cfg randprog.Config, cname string, opts []c
 		finish = f
 	}
 	rt := core.NewRuntime(opts...)
-	err := rt.RunWithTimeout(time.Minute, randprog.Generate(cfg).Main())
+	err := runFrozen(rt, time.Minute, randprog.Generate(cfg).Main())
 	if msg := check(err); msg != "" {
 		fmt.Printf("%s: seed %d under %s\n", msg, cfg.Seed, cname)
 		fails++
@@ -283,7 +293,7 @@ func replay(path string, verbose bool) int {
 
 	mem := trace.NewMemSink(0)
 	rt := core.NewRuntime(append(opts, core.TraceTo(mem))...)
-	runErr := rt.RunWithTimeout(time.Minute, randprog.Generate(cfg).Main())
+	runErr := runFrozen(rt, time.Minute, randprog.Generate(cfg).Main())
 	if err := rt.TraceClose(); err != nil {
 		fmt.Fprintf(os.Stderr, "promisefuzz: %v\n", err)
 		return 2

@@ -29,6 +29,16 @@ import (
 	"repro/internal/trace"
 )
 
+// runFrozen is the hang-tolerant demo driver: run main, and if it has
+// not finished after d, abandon the frozen task tree (no cancellation,
+// so the hang stays observable) and report ErrTimeout. One
+// implementation exists — the deprecated shim, itself a RunDetached
+// wrapper — and the demos are its intended remaining users.
+func runFrozen(rt *core.Runtime, d time.Duration, main core.TaskFunc) error {
+	//lint:ignore SA1019 the demos deliberately keep the shim's freeze-the-hang contract
+	return rt.RunWithTimeout(d, main)
+}
+
 func main() {
 	modeFlag := flag.String("mode", "full", "unverified (hangs, rescued by timeout) or full (immediate alarm)")
 	traceFlag := flag.String("trace", "", "also write the binary trace to this file")
@@ -68,7 +78,7 @@ func main() {
 		stopServer.Do(func() { close(serverDone) })
 	}))
 	rt := core.NewRuntime(opts...)
-	err := rt.RunWithTimeout(3*time.Second, func(root *core.Task) error {
+	err := runFrozen(rt, 3*time.Second, func(root *core.Task) error {
 		config := core.NewPromiseNamed[string](root, "config")
 		metadata := core.NewPromiseNamed[string](root, "metadata")
 
@@ -153,6 +163,6 @@ func main() {
 	// The server is deliberately NOT released here in the unverified
 	// path: the trace is closed, so waking it would record into a closed
 	// collector. Its goroutine (like the deadlocked pair's) is abandoned
-	// to process exit, which is RunWithTimeout's documented behaviour
+	// to process exit, which is RunDetached's documented behaviour
 	// for hung demos.
 }

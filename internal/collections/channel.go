@@ -1,6 +1,8 @@
 package collections
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -71,7 +73,16 @@ func (c *Channel[T]) Close(t *core.Task) error {
 // Close (returning ok=false). Receiving past Close keeps returning
 // ok=false.
 func (c *Channel[T]) Recv(t *core.Task) (T, bool, error) {
-	pl, err := c.consumer.Get(t)
+	return c.RecvContext(nil, t)
+}
+
+// RecvContext is Recv bounded by ctx: the wait for the next link aborts
+// with a core.CanceledError when ctx is canceled or reaches its deadline.
+// A canceled receive consumes nothing — the receiving end stays parked on
+// the same link, so a later Recv (with a live context) picks up exactly
+// where this one gave up. A nil ctx makes RecvContext exactly Recv.
+func (c *Channel[T]) RecvContext(ctx context.Context, t *core.Task) (T, bool, error) {
+	pl, err := c.consumer.GetContext(ctx, t)
 	if err != nil {
 		var zero T
 		return zero, false, err

@@ -1,0 +1,129 @@
+package collections
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestChannelRecvContextCancelAndResume(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		ch := NewChannel[int](tk)
+		release := make(chan struct{})
+		if _, e := tk.Async(func(c *core.Task) error {
+			<-release
+			if e := ch.Send(c, 41); e != nil {
+				return e
+			}
+			return ch.Close(c)
+		}, ch); e != nil {
+			return e
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		if _, _, e := ch.RecvContext(ctx, tk); !errors.Is(e, context.Canceled) {
+			return fmt.Errorf("canceled RecvContext = %v", e)
+		}
+		// A canceled receive consumes nothing: after the producer runs,
+		// the SAME link delivers the value to a plain Recv.
+		close(release)
+		v, ok, e := ch.Recv(tk)
+		if e != nil || !ok || v != 41 {
+			return fmt.Errorf("resumed Recv = %d, %v, %v", v, ok, e)
+		}
+		if _, ok, e := ch.Recv(tk); ok || e != nil {
+			return fmt.Errorf("post-close Recv = ok=%v err=%v", ok, e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureGetContextCancel(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		release := make(chan struct{})
+		fut, e := Go(tk, func(c *core.Task) (int, error) {
+			<-release
+			return 9, nil
+		})
+		if e != nil {
+			return e
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		var ce *core.CanceledError
+		if _, e := fut.GetContext(ctx, tk); !errors.As(e, &ce) {
+			return fmt.Errorf("canceled future Get = %v", e)
+		}
+		// Only this consumer gave up; the producer still delivers.
+		close(release)
+		v, e := fut.Get(tk)
+		if e != nil || v != 9 {
+			return fmt.Errorf("retry = %d, %v", v, e)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFinishContextCancelAbandonsScope(t *testing.T) {
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	err := testutil.Run(t, rt, func(tk *core.Task) error {
+		release := make(chan struct{})
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		e := RunFinishContext(ctx, tk, func(fs *Finish) error {
+			for i := 0; i < 3; i++ {
+				if _, err := fs.Async(tk, func(c *core.Task) error {
+					<-release
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		var ce *core.CanceledError
+		if !errors.As(e, &ce) {
+			return fmt.Errorf("canceled finish = %v, want CanceledError", e)
+		}
+		// Exactly one CanceledError stands in for every abandoned join.
+		count := 0
+		for unwrapped := e; unwrapped != nil; {
+			if errors.As(unwrapped, &ce) {
+				count++
+				unwrapped = errors.Unwrap(ce.Cause)
+			} else {
+				break
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("joined %d CanceledErrors, want 1: %v", count, e)
+		}
+		close(release) // the abandoned children still finish; Run drains them
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package collections
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -31,6 +32,19 @@ type Finish struct {
 // enclosing task blocks — and, in Full mode, runs Algorithm 2 — only for
 // children that are genuinely still running.
 func RunFinish(t *core.Task, body func(fs *Finish) error) error {
+	return RunFinishContext(nil, t, body)
+}
+
+// RunFinishContext is RunFinish bounded by ctx: the joins abort with a
+// core.CanceledError when ctx is canceled or reaches its deadline. The
+// scope is then ABANDONED, not torn down — the children keep running
+// (they cannot be killed) and fulfil their join promises for nobody;
+// their errors, if any, are still recorded by the runtime. The returned
+// error joins the body's error, any child failures collected before the
+// cancellation, and exactly one CanceledError. A nil ctx makes
+// RunFinishContext exactly RunFinish (the run scope installed by
+// core.Runtime.RunContext still bounds every join either way).
+func RunFinishContext(ctx context.Context, t *core.Task, body func(fs *Finish) error) error {
 	fs := &Finish{}
 	err := body(fs)
 	for {
@@ -53,8 +67,14 @@ func RunFinish(t *core.Task, body func(fs *Finish) error) error {
 		fs.pending[idx] = fs.pending[n-1]
 		fs.pending = fs.pending[:n-1]
 		fs.mu.Unlock()
-		if _, e := p.Get(t); e != nil {
+		if _, e := p.GetContext(ctx, t); e != nil {
 			err = errors.Join(err, e)
+			var ce *core.CanceledError
+			if errors.As(e, &ce) {
+				// Canceled: every remaining join would fail the same way
+				// immediately; one CanceledError stands for all of them.
+				break
+			}
 		}
 	}
 	return err

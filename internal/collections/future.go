@@ -1,6 +1,8 @@
 package collections
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -55,6 +57,15 @@ func GoNamed[T any](t *core.Task, name string, f func(*core.Task) (T, error), mo
 
 // Get awaits the future's value.
 func (f *Future[T]) Get(t *core.Task) (T, error) { return f.p.Get(t) }
+
+// GetContext is Get bounded by ctx: the wait aborts with a
+// core.CanceledError when ctx ends first. The producing task is NOT
+// cancelled — it still owns the future's promise and will fulfil it; only
+// this consumer stops waiting (cancel the producer through the run scope,
+// core.Runtime.RunContext, when the whole computation should stop).
+func (f *Future[T]) GetContext(ctx context.Context, t *core.Task) (T, error) {
+	return f.p.GetContext(ctx, t)
+}
 
 // TryGet returns the value if the producing task has already delivered it:
 // the promise fast path's single atomic load, with no blocking and no

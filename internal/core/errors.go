@@ -18,6 +18,55 @@ var ErrTimeout = errors.New("core: run timed out (program hung; possible undetec
 // discussed in §1).
 var ErrAwaitTimeout = errors.New("core: promise wait timed out (heuristic; not proof of deadlock)")
 
+// CanceledError reports a wait or a run abandoned because its context —
+// the per-call context of a GetContext/AwaitContext, or the run scope
+// installed by RunContext — was canceled or reached its deadline. It is
+// deliberately NOT an alarm and NOT a DeadlockError: cancellation is the
+// caller giving up, and proves nothing about the program (the precision
+// argument of §1 applies to deadlines exactly as to timeouts).
+//
+// Cause is the context's cause (context.Canceled, context.DeadlineExceeded,
+// or whatever context.WithCancelCause recorded) and is exposed through
+// Unwrap, so errors.Is(err, context.Canceled) and friends work across the
+// whole error chain.
+type CanceledError struct {
+	TaskID       uint64 // 0 for a run-level cancellation
+	TaskName     string
+	PromiseID    uint64 // 0 when no specific wait was abandoned
+	PromiseLabel string
+	Cause        error
+}
+
+func (e *CanceledError) Error() string {
+	switch {
+	case e.PromiseID != 0:
+		return fmt.Sprintf("core: wait canceled: task %s abandoned its wait on promise %s: %v",
+			e.TaskName, e.PromiseLabel, e.Cause)
+	case e.TaskID != 0:
+		return fmt.Sprintf("core: task %s canceled: %v", e.TaskName, e.Cause)
+	default:
+		return fmt.Sprintf("core: run canceled: %v", e.Cause)
+	}
+}
+
+// Unwrap exposes the context cause so errors.Is/As see through the
+// cancellation.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// newCanceledError builds a CanceledError attributed to the abandoned
+// wait. Only ever called on the cancellation path, so the lazy
+// name/label rendering cost is paid exactly when someone will read it.
+func newCanceledError(t *Task, s *pstate, cause error) *CanceledError {
+	e := &CanceledError{Cause: cause}
+	if t != nil {
+		e.TaskID, e.TaskName = t.id, t.displayName()
+	}
+	if s != nil {
+		e.PromiseID, e.PromiseLabel = s.id, s.displayLabel()
+	}
+	return e
+}
+
 // OwnershipError reports a violation of the ownership policy: a task tried
 // to set or move a promise it does not currently own.
 type OwnershipError struct {

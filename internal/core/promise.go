@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -229,20 +231,30 @@ func (r *Runtime) spinAwait(s *pstate) bool {
 	return false
 }
 
-// awaitState is the policy-checked blocking wait shared by Get and Await:
-// fast path, deadlock verification, idle-watch accounting, block. On a nil
+// awaitState is the policy-checked blocking wait shared by Get, Await and
+// their context-accepting forms: fast path, deadlock verification,
+// idle-watch accounting, block. ctx (nil for the plain forms) bounds the
+// wait together with the runtime's run scope — see context.go. On a nil
 // return the promise is fulfilled (normally or exceptionally — the caller
-// reads s.err).
-func awaitState(t *Task, s *pstate) error {
+// reads s.err); a CanceledError means the wait was abandoned and the
+// promise may never be fulfilled.
+func awaitState(t *Task, s *pstate, ctx context.Context) error {
 	r := t.rt
 	if r.countEvents {
 		r.gets.Add(1)
 	}
 	// Fast path: already fulfilled. One atomic load; observing
 	// stateFulfilled acquires the payload published by Set. No waits-for
-	// edge is needed because no blocking occurs.
+	// edge is needed because no blocking occurs. Fulfilment deliberately
+	// wins over cancellation: a value that is already there is returned
+	// even under a dead context, so retries are deterministic.
 	if s.state.Load() == stateFulfilled {
 		return nil
+	}
+	// Cancellation fail-fast: a wait that begins after its context (or the
+	// run scope) has ended never blocks and never logs a block/wake pair.
+	if err := r.canceled(t, s, ctx); err != nil {
+		return err
 	}
 	// Near-miss path: spin briefly before paying for a real block. Spin
 	// succeeding is observably the fast path (no waits-for edge existed,
@@ -271,7 +283,16 @@ func awaitState(t *Task, s *pstate) error {
 				return err
 			}
 			r.flushStageIfStaged(t)
-			<-s.wake.wait()
+			if cerr := r.blockOn(t, s, ctx); cerr != nil {
+				// Cancelled: withdraw the edge from the global graph so the
+				// (runnable again) task cannot appear in anyone's cycle, and
+				// close the block/wake pair for the offline replay.
+				r.gdet.afterWait(t)
+				if r.events != nil {
+					r.logEvent(EvWake, t, s, "cancel")
+				}
+				return cerr
+			}
 			r.gdet.afterWait(t)
 			if r.events != nil {
 				r.logEvent(EvWake, t, s, "")
@@ -293,7 +314,19 @@ func awaitState(t *Task, s *pstate) error {
 		// Drain the staging buffer before parking: a trace cut short at a
 		// hang must still contain every blocked task's block record.
 		r.flushStageIfStaged(t)
-		<-s.wake.wait()
+		if cerr := r.blockOn(t, s, ctx); cerr != nil {
+			// Cancelled: the task is runnable again, so clearing its
+			// waits-for edge here only ever REMOVES an edge from the graph
+			// a concurrent traversal can see — the detector stays free of
+			// false alarms, and a deadlock this task was part of no longer
+			// exists once it stops waiting. The promise's packed state word
+			// is untouched.
+			t.waitingOn.Store(nil)
+			if r.events != nil {
+				r.logEvent(EvWake, t, s, "cancel")
+			}
+			return cerr
+		}
 		// Requirement 3 (§5.1): the reset of waitingOn becomes visible only
 		// after the fulfilment of p is visible. Both wake paths order this
 		// store after publish: receiving on the installed channel
@@ -307,7 +340,12 @@ func awaitState(t *Task, s *pstate) error {
 		return nil
 	}
 	r.flushStageIfStaged(t)
-	<-s.wake.wait()
+	if cerr := r.blockOn(t, s, ctx); cerr != nil {
+		if r.events != nil {
+			r.logEvent(EvWake, t, s, "cancel")
+		}
+		return cerr
+	}
 	if r.events != nil {
 		r.logEvent(EvWake, t, s, "")
 	}
@@ -322,7 +360,19 @@ func awaitState(t *Task, s *pstate) error {
 // exceptionally.
 func Await(t *Task, p AnyPromise) error {
 	s := p.state()
-	if err := awaitState(t, s); err != nil {
+	if err := awaitState(t, s, nil); err != nil {
+		return err
+	}
+	return s.err
+}
+
+// AwaitContext is Await bounded by ctx: identical policy and deadlock
+// checking, but the wait additionally aborts with a CanceledError when
+// ctx is canceled or reaches its deadline. See Promise.GetContext for the
+// exact cancellation semantics.
+func AwaitContext(ctx context.Context, t *Task, p AnyPromise) error {
+	s := p.state()
+	if err := awaitState(t, s, ctx); err != nil {
 		return err
 	}
 	return s.err
@@ -335,7 +385,31 @@ func Await(t *Task, p AnyPromise) error {
 // case a DeadlockError naming the whole cycle is returned immediately and
 // the task does not block.
 func (p *Promise[T]) Get(t *Task) (T, error) {
-	if err := awaitState(t, &p.s); err != nil {
+	if err := awaitState(t, &p.s, nil); err != nil {
+		var zero T
+		return zero, err
+	}
+	return p.value, p.s.err
+}
+
+// GetContext is Get bounded by ctx: the same policy checks, the same
+// deadlock detection, but the wait aborts with a CanceledError the moment
+// ctx is canceled or reaches its deadline. The abandoned promise is left
+// exactly as it was — unfulfilled, owned, available for a later (re)try —
+// and the task is runnable again immediately.
+//
+// Precedence, in order: an already-fulfilled promise returns its payload
+// even under a dead context; a wait that would complete a deadlock cycle
+// returns the DeadlockError at the moment it would block (the precise
+// alarm always beats the imprecise deadline); only a genuinely blocked
+// wait can end in cancellation. Cancellation is not an alarm: it proves
+// nothing about the program and fires no alarm handler.
+//
+// A nil ctx (or one that can never be canceled) makes GetContext exactly
+// Get. The run scope installed by RunContext bounds every wait, with or
+// without a per-call ctx.
+func (p *Promise[T]) GetContext(ctx context.Context, t *Task) (T, error) {
+	if err := awaitState(t, &p.s, ctx); err != nil {
 		var zero T
 		return zero, err
 	}
@@ -349,42 +423,28 @@ func (p *Promise[T]) Get(t *Task) (T, error) {
 // deadlock (a false alarm), and the tests demonstrate exactly that
 // imprecision against the detector's alarm-iff-deadlock guarantee.
 //
-// GetTimeout does not run Algorithm 2 and leaves no waits-for edge, so
-// cycles formed purely of timed waits are never reported as deadlocks —
-// they simply time out. Timed waits DO appear in the event log: a blocking
-// GetTimeout logs EvBlock, and EvWake with detail "timeout" if the
-// deadline fired first, so post-mortems see them alongside Get waits.
+// GetTimeout is a thin wrapper over GetContext, and since the ctx
+// redesign a timed wait IS policy-checked: it publishes a waits-for edge
+// and, in Full mode, runs Algorithm 2 — a cycle of timed waits is
+// reported as a precise DeadlockError the moment it forms instead of
+// being left to the deadline (strictly earlier, strictly more
+// informative; the weaker modes keep the historical time-out-and-guess
+// behaviour). Timed waits appear in the event log as ordinary blocks,
+// closed by EvWake with detail "cancel" when the deadline fires first.
+//
+// Deprecated: GetTimeout predates the context-first API. Use GetContext
+// with a deadline context; it reports the deadline as a CanceledError
+// carrying the task and promise instead of the bare ErrAwaitTimeout.
 func (p *Promise[T]) GetTimeout(t *Task, d time.Duration) (T, error) {
-	r := t.rt
-	if r.countEvents {
-		r.gets.Add(1)
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d, ErrAwaitTimeout)
+	defer cancel()
+	v, err := p.GetContext(ctx, t)
+	var ce *CanceledError
+	if errors.As(err, &ce) && errors.Is(ce.Cause, ErrAwaitTimeout) {
+		// Historical contract: the deadline reports the bare sentinel.
+		return v, ErrAwaitTimeout
 	}
-	var zero T
-	if p.s.fulfilled() {
-		return p.value, p.s.err
-	}
-	if r.idle != nil {
-		r.idle.enterBlocked()
-		defer r.idle.exitBlocked()
-	}
-	if r.events != nil {
-		r.logEvent(EvBlock, t, &p.s, "timed")
-		r.flushStageIfStaged(t)
-	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-p.s.wake.wait():
-		if r.events != nil {
-			r.logEvent(EvWake, t, &p.s, "")
-		}
-		return p.value, p.s.err
-	case <-timer.C:
-		if r.events != nil {
-			r.logEvent(EvWake, t, &p.s, "timeout")
-		}
-		return zero, ErrAwaitTimeout
-	}
+	return v, err
 }
 
 // MustGet is Get for contexts where an error is a programming bug; it

@@ -6,7 +6,6 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/trace"
 )
@@ -234,6 +233,19 @@ type Runtime struct {
 	// spinScore is the adaptive pre-block spin state (see spinAwait):
 	// >= 0 spin enabled, < 0 counting down to a re-probe.
 	spinScore atomic.Int32
+
+	// run is the active run-level cancellation scope (see context.go):
+	// installed by RunContext before the root task starts, nil when the
+	// run cannot be cancelled. Blocking waits load it on their slow path.
+	run runScopePtr
+
+	// runWaitsCanceled records that at least one wait was aborted BY THE
+	// RUN SCOPE (not by a per-call ctx) during the current run. RunContext
+	// joins its CanceledError only when this is set: a program that ran to
+	// completion without a single wait disturbed is reported as it
+	// finished, even if the scope expired at the very end — the run-level
+	// form of fulfilment-beats-cancellation.
+	runWaitsCanceled atomic.Bool
 }
 
 // defaultDetector returns the detector used when WithDetector is absent:
@@ -297,8 +309,9 @@ func (r *Runtime) Stats() Stats {
 //
 // Run corresponds to the paper's Init procedure followed by program
 // completion. Note that under Unverified and Ownership modes a deadlocked
-// program never terminates and Run never returns; use RunWithTimeout to
-// demonstrate that behaviour safely.
+// program never terminates and Run never returns; use RunDetached with a
+// deadline context to demonstrate that behaviour safely, or RunContext
+// for cooperative caller-side cancellation (see context.go).
 func (r *Runtime) Run(main TaskFunc) error {
 	if r.events != nil {
 		// The configuration meta record lets the offline verifier know
@@ -325,22 +338,6 @@ func (r *Runtime) Run(main TaskFunc) error {
 		r.logEventArg(trace.KindRunEnd, nil, nil, uint64(n), "")
 	}
 	return err
-}
-
-// RunWithTimeout is Run with a deadline. If the program does not finish in
-// time it returns an error wrapping ErrTimeout together with any errors
-// recorded so far. The hung tasks' goroutines are abandoned (they cannot
-// be killed); this is intended for demonstrations and tests of programs
-// that hang under the weaker modes.
-func (r *Runtime) RunWithTimeout(d time.Duration, main TaskFunc) error {
-	done := make(chan error, 1)
-	go func() { done <- r.Run(main) }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(d):
-		return joinErrs(ErrTimeout, r.Err())
-	}
 }
 
 // Errors returns a copy of every error recorded by terminated tasks so far.

@@ -18,14 +18,20 @@
 // Admission is two-stage: at most MaxSessions sessions run concurrently,
 // at most QueueDepth more wait for a slot, and anything beyond that is
 // rejected synchronously with ErrPoolSaturated — the caller, not the pool,
-// owns retry policy. Shutdown is ordered: Close stops admission, drains
-// queued and running sessions, then closes the shared scheduler, which
+// owns retry policy. Every Submit carries a context covering the whole
+// session: the admission wait (a queued session whose ctx ends aborts
+// without running) and the execution (a running session is cancelled
+// through the runtime's structured-cancellation scope); either way it
+// completes with VerdictCanceled. Shutdown is ordered: Close stops
+// admission, promptly fails still-queued sessions with ErrPoolClosed,
+// drains running sessions, then closes the shared scheduler, which
 // itself blocks until every worker and the cleaner goroutine have exited.
 // After Close returns the pool has provably released every goroutine it
 // created (the race tests assert this against runtime.NumGoroutine).
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -72,6 +78,11 @@ type Pool struct {
 	// slots is the running-session semaphore: buffer size MaxSessions.
 	slots chan struct{}
 
+	// closeCh is closed by the first Close, BEFORE the drain: queued
+	// sessions blocked waiting for a slot select on it and abort promptly
+	// with ErrPoolClosed instead of riding out the whole drain.
+	closeCh chan struct{}
+
 	mu      sync.Mutex
 	closed  bool
 	waiting int // sessions admitted to the queue, not yet holding a slot
@@ -98,19 +109,38 @@ func NewPool(cfg Config) *Pool {
 		cfg.QueueDepth = 0
 	}
 	return &Pool{
-		cfg:   cfg,
-		exec:  sched.NewElastic(cfg.IdleTimeout),
-		slots: make(chan struct{}, cfg.MaxSessions),
+		cfg:     cfg,
+		exec:    sched.NewElastic(cfg.IdleTimeout),
+		slots:   make(chan struct{}, cfg.MaxSessions),
+		closeCh: make(chan struct{}),
 	}
 }
 
 // Submit starts (or queues) one session running main and returns its
-// handle immediately. The session's runtime is built from the pool's base
-// options, then opts, then the shared-executor injection. Submit never
-// blocks on session execution: if a slot is free the session starts right
-// away; if the queue has room it waits for a slot in the background;
-// otherwise Submit fails fast with ErrPoolSaturated.
-func (p *Pool) Submit(name string, main core.TaskFunc, opts ...core.Option) (*Session, error) {
+// handle immediately. ctx is the session's cancellation scope and covers
+// its whole life: a session still waiting in the admission queue when ctx
+// ends aborts without ever running, and a running session is cancelled
+// through core.Runtime.RunContext (structured cancellation: its blocked
+// waits abort, the task tree unwinds cooperatively). Either way the
+// session completes with VerdictCanceled. A nil ctx means no caller-side
+// cancellation (context.Background).
+//
+// The session's runtime is built from the pool's base options
+// (Config.Runtime), then opts — so a later option overrides an earlier
+// one and every base option can be overridden per session — and finally
+// the pool's shared-executor injection. Submit never blocks on session
+// execution: if a slot is free the session starts right away; if the
+// queue has room it waits for a slot in the background; otherwise Submit
+// fails fast with ErrPoolSaturated.
+func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts ...core.Option) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		// Dead on arrival: fail synchronously, like a closed pool.
+		p.rejected.Add(1)
+		return nil, context.Cause(ctx)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -141,6 +171,7 @@ func (p *Pool) Submit(name string, main core.TaskFunc, opts ...core.Option) (*Se
 		pool:     p,
 		id:       id,
 		name:     name,
+		ctx:      ctx,
 		tenant:   tenant,
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
@@ -154,14 +185,44 @@ func (p *Pool) Submit(name string, main core.TaskFunc, opts ...core.Option) (*Se
 
 // runSession is the session's supervising goroutine: acquire a slot if the
 // session was queued, build the isolated runtime, run the program, record
-// the verdict, release the slot.
+// the verdict, release the slot. A queued session stops waiting the
+// moment its ctx ends or the pool starts closing — it then completes with
+// VerdictCanceled without ever running.
 func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 	defer p.drain.Done()
 	if queued {
-		p.slots <- struct{}{} // blocks until a running session releases
+		var aborted error
+		// Check the close signal on its own first: if Close already ran,
+		// abort deterministically even when a slot happens to be free.
+		select {
+		case <-p.closeCh:
+			aborted = ErrPoolClosed
+		default:
+			select {
+			case p.slots <- struct{}{}: // blocks until a running session releases
+				// Won a slot — but if Close landed concurrently the select
+				// may have picked this arm over closeCh at random. Re-check
+				// and hand the slot back: a queued session must not start
+				// work after shutdown began.
+				select {
+				case <-p.closeCh:
+					<-p.slots
+					aborted = ErrPoolClosed
+				default:
+				}
+			case <-s.ctx.Done():
+				aborted = &core.CanceledError{Cause: context.Cause(s.ctx)}
+			case <-p.closeCh:
+				aborted = ErrPoolClosed
+			}
+		}
 		p.mu.Lock()
 		p.waiting--
 		p.mu.Unlock()
+		if aborted != nil {
+			p.finishUnrun(s, aborted)
+			return
+		}
 	}
 	cur := p.inflight.Add(1)
 	for {
@@ -173,7 +234,11 @@ func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 	s.startedAt = time.Now()
 	rt := core.NewRuntime(s.runtimeOpts...)
 	s.rt = rt
-	err := rt.Run(main)
+	// RunContext waits for the session's task tree to unwind even after a
+	// cancellation, so the verdict, the runtime stats, and the tenant's
+	// scheduler accounting below are exact — no abandoned goroutine can
+	// mutate them later.
+	err := rt.RunContext(s.ctx, main)
 	s.finishedAt = time.Now()
 	s.err = err
 	s.verdict = Classify(err)
@@ -193,13 +258,32 @@ func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 	close(s.done)
 }
 
-// Close stops admission, waits for every queued and running session to
-// finish, and then shuts down the shared scheduler (which blocks until all
-// of its workers and its cleaner goroutine have exited). Idempotent;
+// finishUnrun completes a session that never started executing — its ctx
+// ended, or the pool closed, while it was still queued. The session never
+// held a slot and never built a runtime; it completes with the abort
+// error and VerdictCanceled.
+func (p *Pool) finishUnrun(s *Session, err error) {
+	now := time.Now()
+	s.startedAt, s.finishedAt = now, now
+	s.err = err
+	s.verdict = VerdictCanceled
+	p.completed.Add(1)
+	p.verdicts[VerdictCanceled].Add(1)
+	close(s.done)
+}
+
+// Close stops admission, promptly fails every session still waiting in
+// the admission queue with ErrPoolClosed (VerdictCanceled — queued work
+// does NOT ride out the drain), waits for every running session to
+// finish, and then shuts down the shared scheduler (which blocks until
+// all of its workers and its cleaner goroutine have exited). Idempotent;
 // concurrent Close calls all block until the drain completes.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	p.closed = true
+	if !p.closed {
+		p.closed = true
+		close(p.closeCh)
+	}
 	p.mu.Unlock()
 	p.drain.Wait()
 	p.exec.Close()
@@ -218,11 +302,14 @@ type PoolStats struct {
 	Waiting   int64 `json:"waiting"`
 	Peak      int64 `json:"peak_in_flight"`
 
-	// Per-verdict counts over completed sessions.
+	// Per-verdict counts over completed sessions. Canceled counts both
+	// sessions cancelled mid-execution (their ctx ended) and sessions
+	// aborted in the admission queue by their ctx or by Close.
 	Clean            int64 `json:"clean"`
 	Deadlocks        int64 `json:"deadlocks"`
 	PolicyViolations int64 `json:"policy_violations"`
 	Failed           int64 `json:"failed"`
+	Canceled         int64 `json:"canceled"`
 
 	TasksRun      int64 `json:"tasks_run"`      // sum of session task counts
 	EventsDropped int64 `json:"events_dropped"` // sum over traced sessions; 0 when healthy
@@ -257,6 +344,7 @@ func (p *Pool) Stats() PoolStats {
 		Deadlocks:        p.verdicts[VerdictDeadlock].Load(),
 		PolicyViolations: p.verdicts[VerdictPolicy].Load(),
 		Failed:           p.verdicts[VerdictFailed].Load(),
+		Canceled:         p.verdicts[VerdictCanceled].Load(),
 		TasksRun:         p.tasksRun.Load(),
 		EventsDropped:    p.dropped.Load(),
 		WorkersSpawned:   ss.Spawned,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -77,7 +78,7 @@ func TestPoolMixedSessionsIsolationAndDrain(t *testing.T) {
 		if i%3 == 2 {
 			prog, name = deadlockProg, "cycle"
 		}
-		s, err := pool.Submit(fmt.Sprintf("%s-%d", name, i), prog)
+		s, err := pool.Submit(t.Context(), fmt.Sprintf("%s-%d", name, i), prog)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -148,22 +149,22 @@ func TestPoolAdmissionQueueAndReject(t *testing.T) {
 	gate := make(chan struct{})
 	block := func(t *core.Task) error { <-gate; return nil }
 
-	s1, err := pool.Submit("s1", block)
+	s1, err := pool.Submit(t.Context(), "s1", block)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := pool.Submit("s2", block)
+	s2, err := pool.Submit(t.Context(), "s2", block)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Both slots will be taken; wait until they are running so the third
 	// submission must queue rather than race for a slot.
 	waitInFlight(t, pool, 2)
-	s3, err := pool.Submit("s3", block)
+	s3, err := pool.Submit(t.Context(), "s3", block)
 	if err != nil {
 		t.Fatalf("queue admission failed: %v", err)
 	}
-	if _, err := pool.Submit("s4", block); !errors.Is(err, ErrPoolSaturated) {
+	if _, err := pool.Submit(t.Context(), "s4", block); !errors.Is(err, ErrPoolSaturated) {
 		t.Fatalf("expected ErrPoolSaturated, got %v", err)
 	}
 	close(gate)
@@ -179,7 +180,7 @@ func TestPoolAdmissionQueueAndReject(t *testing.T) {
 		t.Fatalf("negative queue latency: %v", s3.QueueLatency())
 	}
 	pool.Close()
-	if _, err := pool.Submit("s5", block); !errors.Is(err, ErrPoolClosed) {
+	if _, err := pool.Submit(t.Context(), "s5", block); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("expected ErrPoolClosed, got %v", err)
 	}
 	ps := pool.Stats()
@@ -201,27 +202,45 @@ func waitInFlight(t *testing.T, p *Pool, want int64) {
 	t.Fatalf("in-flight never reached %d (now %d)", want, p.Stats().InFlight)
 }
 
-func TestPoolCloseDrainsQueuedSessions(t *testing.T) {
-	// Sessions already admitted — running or queued — must complete through
-	// Close; only new submissions are rejected.
+func TestPoolCloseFailsQueuedSessionsPromptly(t *testing.T) {
+	// Regression (ctx redesign): a session blocked in the admission queue
+	// used to ride out the whole drain — it would sit in its slot wait
+	// until every running session finished, then RUN. Close must instead
+	// fail it with ErrPoolClosed promptly, while running sessions still
+	// drain normally.
 	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 4})
 	gate := make(chan struct{})
-	var sessions []*Session
-	first, err := pool.Submit("first", func(t *core.Task) error { <-gate; return nil })
+	first, err := pool.Submit(t.Context(), "first", func(t *core.Task) error { <-gate; return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	sessions = append(sessions, first)
 	waitInFlight(t, pool, 1)
+	var queued []*Session
 	for i := 0; i < 4; i++ {
-		s, err := pool.Submit("", func(t *core.Task) error { return nil })
+		s, err := pool.Submit(t.Context(), "", func(t *core.Task) error { return nil })
 		if err != nil {
 			t.Fatalf("queued submit %d: %v", i, err)
 		}
-		sessions = append(sessions, s)
+		queued = append(queued, s)
 	}
 	done := make(chan struct{})
 	go func() { pool.Close(); close(done) }()
+	// The queued sessions must fail while the first session is STILL
+	// running — that is the "promptly" in the contract. Their Wait has a
+	// deadline well short of the gate release below.
+	for i, s := range queued {
+		select {
+		case <-s.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued session %d still pending during drain", i)
+		}
+		if err := s.Err(); !errors.Is(err, ErrPoolClosed) {
+			t.Errorf("queued session %d: err %v, want ErrPoolClosed", i, err)
+		}
+		if v := s.Verdict(); v != VerdictCanceled {
+			t.Errorf("queued session %d: verdict %s, want canceled", i, v)
+		}
+	}
 	select {
 	case <-done:
 		t.Fatal("Close returned while a session was still running")
@@ -229,13 +248,13 @@ func TestPoolCloseDrainsQueuedSessions(t *testing.T) {
 	}
 	close(gate)
 	<-done
-	for _, s := range sessions {
-		if err := s.Wait(); err != nil {
-			t.Fatalf("%s failed: %v", s.Name(), err)
-		}
+	if err := first.Wait(); err != nil {
+		t.Fatalf("running session failed: %v", err)
 	}
-	if ps := pool.Stats(); ps.Completed != 5 {
-		t.Fatalf("completed %d sessions, want 5", ps.Completed)
+	ps := pool.Stats()
+	if ps.Completed != 5 || ps.Canceled != 4 || ps.Clean != 1 {
+		t.Fatalf("stats: completed=%d canceled=%d clean=%d, want 5/4/1",
+			ps.Completed, ps.Canceled, ps.Clean)
 	}
 }
 
@@ -257,9 +276,14 @@ func TestClassify(t *testing.T) {
 		{"failed", func(root *core.Task) error {
 			return errors.New("application error")
 		}, VerdictFailed},
+		{"canceled", func(root *core.Task) error {
+			// A body reporting its caller gave up classifies as canceled,
+			// not failed — the program was not convicted of anything.
+			return context.Canceled
+		}, VerdictCanceled},
 	}
 	for _, tc := range cases {
-		s, err := pool.Submit(tc.name, tc.prog)
+		s, err := pool.Submit(t.Context(), tc.name, tc.prog)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -277,7 +301,7 @@ func TestPoolWaitThenSubmitFindsFreedSlot(t *testing.T) {
 	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 0})
 	defer pool.Close()
 	for i := 0; i < 200; i++ {
-		s, err := pool.Submit("", func(t *core.Task) error { return nil })
+		s, err := pool.Submit(t.Context(), "", func(t *core.Task) error { return nil })
 		if err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
 		}
@@ -293,7 +317,7 @@ func TestPoolWaitThenSubmitFindsFreedSlot(t *testing.T) {
 func TestSessionSchedStats(t *testing.T) {
 	pool := NewPool(Config{MaxSessions: 1})
 	defer pool.Close()
-	s, err := pool.Submit("acct", cleanProg)
+	s, err := pool.Submit(t.Context(), "acct", cleanProg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -22,6 +23,11 @@ const (
 	VerdictPolicy
 	// VerdictFailed: any other error (task error, panic, timeout).
 	VerdictFailed
+	// VerdictCanceled: the caller gave up — the session's context was
+	// canceled or reached its deadline (before or during execution), or
+	// Pool.Close aborted it while it was still queued for admission. The
+	// program itself was not convicted of anything.
+	VerdictCanceled
 
 	verdictCount = iota
 )
@@ -37,14 +43,20 @@ func (v Verdict) String() string {
 		return "policy"
 	case VerdictFailed:
 		return "failed"
+	case VerdictCanceled:
+		return "canceled"
 	default:
 		return "unknown"
 	}
 }
 
-// Classify maps a session's joined error to its verdict. Deadlock wins
-// over policy when both appear (the cycle is the root cause a server wants
-// to route on; the cascade errors are its fallout).
+// Classify maps a session's joined error to its verdict. Precedence, most
+// specific first: deadlock beats everything (the cycle is a true alarm
+// the detector proved; a server routes on it even if the session was also
+// canceled mid-conviction); cancellation beats policy (structured
+// cancellation makes tasks return early, and the omitted-set blame and
+// broken-promise cascades that follow are the TEARDOWN's fallout, not a
+// verdict on the program); policy beats the generic failure bucket.
 func Classify(err error) Verdict {
 	if err == nil {
 		return VerdictClean
@@ -52,6 +64,11 @@ func Classify(err error) Verdict {
 	var dl *core.DeadlockError
 	if errors.As(err, &dl) {
 		return VerdictDeadlock
+	}
+	var ce *core.CanceledError
+	if errors.As(err, &ce) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrPoolClosed) {
+		return VerdictCanceled
 	}
 	var (
 		om *core.OmittedSetError
@@ -72,6 +89,10 @@ type Session struct {
 	pool *Pool
 	id   uint64
 	name string
+
+	// ctx is the session's cancellation scope, covering both the
+	// admission-queue wait and the execution (Runtime.RunContext).
+	ctx context.Context
 
 	runtimeOpts []core.Option
 	rt          *core.Runtime

@@ -86,12 +86,17 @@ type verifier struct {
 	rep Report
 
 	// Reconstructed runtime state, keyed by IDs from the trace.
-	owner     map[uint64]uint64            // promise -> owning task (0 = none)
-	fulfilled map[uint64]bool              // promise -> set
-	created   map[uint64]bool              // promise ever seen
-	ownedBy   map[uint64]map[uint64]bool   // task -> unfulfilled owned promises
-	waiting   map[uint64]uint64            // task -> promise (policy-checked Get)
-	timedWait map[uint64]uint64            // task -> promise (GetTimeout, no detector edge)
+	owner     map[uint64]uint64          // promise -> owning task (0 = none)
+	fulfilled map[uint64]bool            // promise -> set
+	created   map[uint64]bool            // promise ever seen
+	ownedBy   map[uint64]map[uint64]bool // task -> unfulfilled owned promises
+	waiting   map[uint64]uint64          // task -> promise (policy-checked Get)
+	// timedWait tracks blocks with detail "timed" — the PRE-ctx-redesign
+	// GetTimeout, which left no detector edge. Current runtimes emit no
+	// such records (GetTimeout now blocks like any policy-checked wait
+	// and closes with a "cancel" wake); the branch remains so traces
+	// recorded before the redesign still verify.
+	timedWait map[uint64]uint64 // task -> promise (legacy timed wait)
 	started   map[uint64]bool
 	ended     map[uint64]bool
 	// pendingOmitted marks tasks blamed by an omitted-set alarm whose
@@ -213,7 +218,7 @@ func (v *verifier) step(e *Event) {
 	case KindWake:
 		if p, ok := v.timedWait[e.TaskID]; ok && p == e.PromiseID {
 			delete(v.timedWait, e.TaskID)
-			// A timed wait may end by fulfilment or by its deadline
+			// A legacy timed wait may end by fulfilment or by its deadline
 			// ("timeout"); neither implies anything about the graph.
 			return
 		}
@@ -231,6 +236,11 @@ func (v *verifier) step(e *Event) {
 		case "alarm":
 			// The wait was abandoned because its verification alarmed;
 			// the promise is legitimately unfulfilled.
+		case "cancel":
+			// The waiter's context (per-call or run scope) ended: the wait
+			// was abandoned, the task is runnable again, and the promise is
+			// legitimately unfulfilled — it may even be fulfilled later
+			// with nobody blocked on it.
 		case "timeout":
 			v.problem(e, "timeout wake on a policy-checked (untimed) wait")
 		}

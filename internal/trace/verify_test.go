@@ -208,3 +208,37 @@ func TestVerifyUnverifiedModeSkipsOwnership(t *testing.T) {
 		t.Fatalf("unverified-mode trace flagged: %v", rep.Problems)
 	}
 }
+
+func TestVerifyAcceptsCancelWake(t *testing.T) {
+	// A canceled wait closes its block with a "cancel" wake: the promise
+	// is legitimately unfulfilled at the wake, and may be fulfilled later
+	// with nobody blocked on it. The whole run still certifies clean.
+	evs := []Event{
+		ev(1, KindMeta, 0, 0, 0, metaFull),
+		ev(2, KindTaskStart, 1, 0, 0, ""),
+		ev(3, KindNewPromise, 1, 1, 0, ""),
+		ev(4, KindMove, 1, 1, 2, "to child"),
+		ev(5, KindTaskStart, 2, 0, 1, ""),
+		ev(6, KindBlock, 1, 1, 0, ""),
+		ev(7, KindWake, 1, 1, 0, "cancel"), // the waiter's ctx ended first
+		ev(8, KindTaskEnd, 1, 0, 0, ""),
+		ev(9, KindSet, 2, 1, 0, ""), // the producer delivers for nobody
+		ev(10, KindTaskEnd, 2, 0, 0, ""),
+		ev(11, KindRunEnd, 0, 0, 0, ""),
+	}
+	rep := Verify(evs)
+	if !rep.Clean() {
+		t.Fatalf("canceled-wait run not clean: %+v", rep)
+	}
+}
+
+func TestVerifyRejectsCancelWakeWithoutBlock(t *testing.T) {
+	evs := cleanRun()
+	// Turn the matched wake into a cancel wake on a promise the task
+	// never blocked on: still a protocol violation.
+	evs[7] = ev(8, KindWake, 1, 9, 0, "cancel")
+	rep := Verify(evs)
+	if rep.Consistent() {
+		t.Fatalf("cancel wake without a matching block accepted: %+v", rep)
+	}
+}
