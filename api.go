@@ -74,6 +74,11 @@ type (
 	Event = core.Event
 	// EventKind classifies event-log entries.
 	EventKind = core.EventKind
+	// SpawnSpec describes one child of a Task.AsyncBatch fan-out.
+	SpawnSpec = core.SpawnSpec
+	// PromiseArena is a slab allocator for promises of one payload type;
+	// see Task-side NewPromiseArena.
+	PromiseArena[T any] = core.PromiseArena[T]
 
 	// CanceledError reports a wait or run abandoned because its context
 	// was canceled or reached its deadline (not an alarm: cancellation
@@ -139,6 +144,13 @@ var (
 	WithAlarmHandler = core.WithAlarmHandler
 	// WithExecutor replaces the task executor.
 	WithExecutor = core.WithExecutor
+	// WithBatchExecutor installs a vectorized submit used by AsyncBatch
+	// (pairs with WithExecutor; sched.Elastic.ExecuteBatch is the intended
+	// implementation).
+	WithBatchExecutor = core.WithBatchExecutor
+	// WithInlineSpawn routes every Async through the inline
+	// run-to-completion path (see Task.AsyncInline for the contract).
+	WithInlineSpawn = core.WithInlineSpawn
 	// WithTracing enables Snapshot/DOT debugging.
 	WithTracing = core.WithTracing
 	// WithIdleWatch installs the whole-program quiescence comparator (§1).
@@ -238,4 +250,14 @@ func NewPromise[T any](t *Task) *Promise[T] { return core.NewPromise[T](t) }
 // NewPromiseNamed allocates a labelled promise owned by t.
 func NewPromiseNamed[T any](t *Task, label string) *Promise[T] {
 	return core.NewPromiseNamed[T](t, label)
+}
+
+// NewPromiseArena creates a slab allocator for promises of one payload
+// type, bound to t's runtime: Arena.New promises are ordinary owned,
+// policy-checked promises carved out of shared slabs (amortized
+// 1/arenaBlock heap allocations each), and fulfilled promises can be
+// recycled in Unverified mode. See core.PromiseArena for the lifetime and
+// confinement rules.
+func NewPromiseArena[T any](t *Task) *PromiseArena[T] {
+	return core.NewPromiseArena[T](t)
 }

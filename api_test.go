@@ -290,3 +290,42 @@ func TestFacadePool(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%s", clean.Verdict()) // verdicts render for reports
 }
+
+// TestFacadeSpawnFastPaths exercises the PR-6 surface through the facade:
+// inline spawn (per-call and runtime-wide), batched spawn, and arena
+// promises.
+func TestFacadeSpawnFastPaths(t *testing.T) {
+	rt := repro.NewRuntime(repro.WithInlineSpawn(true))
+	err := rt.Run(func(tk *repro.Task) error {
+		arena := repro.NewPromiseArena[int](tk)
+		p := arena.New(tk)
+		if _, err := tk.AsyncInline(func(c *repro.Task) error {
+			return p.Set(c, 1)
+		}, p); err != nil {
+			return err
+		}
+		if _, err := p.Get(tk); err != nil {
+			return err
+		}
+		arena.Recycle(p)
+
+		q := repro.NewPromise[int](tk)
+		r := repro.NewPromise[int](tk)
+		children, err := tk.AsyncBatch([]repro.SpawnSpec{
+			{Name: "q", Body: func(c *repro.Task) error { return q.Set(c, 2) }, Moved: []repro.Movable{q}},
+			{Name: "r", Body: func(c *repro.Task) error { return r.Set(c, 3) }, Moved: []repro.Movable{r}},
+		})
+		if err != nil || len(children) != 2 {
+			return fmt.Errorf("AsyncBatch = %d children, %v", len(children), err)
+		}
+		qs, _ := q.Get(tk)
+		rs, _ := r.Get(tk)
+		if qs+rs != 5 {
+			return fmt.Errorf("batch results %d+%d", qs, rs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -313,6 +313,124 @@ func BenchmarkMicro_SpawnPooled(b *testing.B) {
 	}
 }
 
+// BenchmarkMicro_SpawnInline is BenchmarkMicro_SpawnPooled through the
+// inline run-to-completion path (Task.AsyncInline): the child's body
+// runs on the parent's goroutine, so the spawn+join pays no context
+// switch. Tracked as "spawn-inline" in BENCH_table1.json.
+func BenchmarkMicro_SpawnInline(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.SpawnInlineFixture, core.WithMode(mode), core.WithTaskPooling(true))
+		})
+	}
+}
+
+// BenchmarkMicro_SpawnBatch spawns harness.BatchWidth (64) children per
+// iteration through ONE Task.AsyncBatch call and joins through their
+// promises; reported ns/op is per BATCH — divide by 64 to compare with
+// the per-spawn rows (BENCH_table1.json's "spawn-batch" row is already
+// amortized). The freelist variant amortizes only the submission
+// bookkeeping (one lock round for the whole batch); the elastic variant
+// additionally drains batch children back-to-back from a worker's deque
+// with no park/wake between them, which is where batching beats the
+// per-spawn context-switch floor — that configuration is the tracked
+// one.
+func BenchmarkMicro_SpawnBatch(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String()+"/freelist", func(b *testing.B) {
+			benchFixture(b, harness.SpawnBatchFixture, core.WithMode(mode), core.WithTaskPooling(true))
+		})
+		b.Run(mode.String()+"/elastic", func(b *testing.B) {
+			pool := sched.NewElastic(100 * time.Millisecond)
+			defer pool.Close()
+			benchFixture(b, harness.SpawnBatchFixture, core.WithMode(mode), core.WithTaskPooling(true),
+				core.WithExecutor(pool.Execute), core.WithBatchExecutor(pool.ExecuteBatch))
+		})
+	}
+}
+
+// BenchmarkMicro_SetGetSlab is BenchmarkMicro_SetGet with the promise
+// carved from a core.PromiseArena (recycled in Unverified mode,
+// bump-allocated from slabs otherwise). Tracked as "setget-slab".
+func BenchmarkMicro_SetGetSlab(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.SetGetSlabFixture, core.WithMode(mode))
+		})
+	}
+}
+
+// TestInlineSpawnAllocs pins the inline spawn path's allocation budget:
+// an AsyncInline whose body sets one moved promise, joined through that
+// promise, allocates only the promise itself under task pooling — no
+// goroutine hand-off, no closure, no wakeup channel (the join's Get
+// always lands on a fulfilled promise). Half-an-alloc slack covers
+// owned-list growth straddling a measurement window.
+func TestInlineSpawnAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode), core.WithTaskPooling(true))
+			if err := rt.Run(func(task *core.Task) error {
+				step, err := harness.SpawnInlineFixture(task)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 200; i++ {
+					if err := step(i); err != nil {
+						return err
+					}
+				}
+				got := testing.AllocsPerRun(500, func() {
+					if err := step(0); err != nil {
+						t.Error(err)
+					}
+				})
+				if got > 1.5 {
+					t.Errorf("inline spawn: %v allocs/op, want <= 1.5", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSlabAllocs pins the arena's promise: a Set/Get round-trip on a
+// slab promise averages below one allocation — zero steady-state in
+// Unverified mode (the fulfilled promise recycles), 1/64th of a slab
+// otherwise (recycling is refused under the verified modes; see
+// PromiseArena.Recycle).
+func TestSlabAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.Unverified, core.Ownership, core.Full} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			if err := rt.Run(func(task *core.Task) error {
+				step, err := harness.SetGetSlabFixture(task)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 200; i++ {
+					if err := step(i); err != nil {
+						return err
+					}
+				}
+				got := testing.AllocsPerRun(640, func() {
+					if err := step(0); err != nil {
+						t.Error(err)
+					}
+				})
+				if got >= 0.5 {
+					t.Errorf("slab Set/Get: %v allocs/op, want < 0.5", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestSpawnPathAllocs pins the spawn path's allocation budget after the
 // hot-path overhaul (DESIGN.md): a default spawn with one moved promise,
 // joined through that promise, allocates at most four objects under the

@@ -1,0 +1,128 @@
+package core
+
+// Vectorized spawn: submit a whole fan-out in one call.
+//
+// A per-spawn submit pays its fixed costs N times: N freelist lock
+// rounds (or N executor submissions, each with its own deque push,
+// wakeup gate, and searcher check), N wait-group and idle-watch updates
+// issued separately. AsyncBatch collapses them: ownership transfer is
+// validated all-or-nothing across the batch, accounting is opened with
+// one wg.Add(n) / tasks.Add(n), and placement is handed to the executor
+// as a single multi-submit — the goroutine freelist drains under ONE
+// lock acquisition, and a batch-aware executor (WithBatchExecutor /
+// sched.Elastic.ExecuteBatch) amortizes its push-and-wake machinery the
+// same way.
+
+// SpawnSpec describes one child of an AsyncBatch fan-out: a diagnostic
+// name (optional), the body, and the promises moved to the child
+// (rule 2), exactly as the corresponding AsyncNamed arguments.
+type SpawnSpec struct {
+	Name  string
+	Body  TaskFunc
+	Moved []Movable
+}
+
+// AsyncBatch spawns one child per spec in a single call, amortizing the
+// fixed per-spawn costs across the batch. Semantics match issuing the
+// AsyncNamed calls in spec order, with one difference in failure shape:
+// ownership of EVERY spec's moved set is validated before ANY child is
+// created, so a batch with one invalid move starts nothing (per-spawn
+// code would have started the children preceding the bad one). A promise
+// listed by two specs is moved by the earlier one; the later listing is
+// skipped, exactly like a duplicate within one spawn.
+//
+// AsyncBatch never runs bodies inline (batches are fan-outs, inline
+// would serialize them); under WithInlineSpawn it is the way to say
+// "these N really are concurrent".
+func (t *Task) AsyncBatch(specs []SpawnSpec) ([]*Task, error) {
+	t.markDirty() // spawning is runtime-visible: an inline spawner cannot restart
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	r := t.rt
+	if r.mode >= Ownership {
+		for i := range specs {
+			if len(specs[i].Moved) == 0 {
+				continue
+			}
+			if err := t.validateMoved(specs[i].Moved); err != nil {
+				r.alarm(err)
+				return nil, err
+			}
+		}
+	}
+	children := make([]*Task, len(specs))
+	for i := range specs {
+		children[i] = r.newTask(specs[i].Name, t)
+	}
+	if r.mode >= Ownership {
+		for i := range specs {
+			if len(specs[i].Moved) > 0 {
+				t.transferMoved(children[i], specs[i].Moved)
+			}
+		}
+	}
+	r.startTaskBatch(t, children, specs)
+	return children, nil
+}
+
+// startTaskBatch is startTask over a whole batch: identical per-child
+// records (EvTaskStart, idle watch), but the counters are bumped once
+// and placement is vectorized.
+func (r *Runtime) startTaskBatch(parent *Task, ts []*Task, specs []SpawnSpec) {
+	n := len(ts)
+	r.wg.Add(n)
+	r.tasks.Add(int64(n))
+	if r.idle != nil {
+		for range ts {
+			r.idle.taskStarted()
+		}
+	}
+	if r.events != nil {
+		for _, c := range ts {
+			r.logEventArg(EvTaskStart, c, nil, parent.id, "")
+		}
+	}
+	switch {
+	case r.exec == nil:
+		r.startGoroutineBatch(ts, specs)
+	case r.execBatch != nil:
+		fs := make([]func(), n)
+		for i := range ts {
+			c, body := ts[i], specs[i].Body
+			fs[i] = func() { r.runTask(c, body) }
+		}
+		r.execBatch(fs)
+	default:
+		for i := range ts {
+			c, body := ts[i], specs[i].Body
+			r.exec(func() { r.runTask(c, body) })
+		}
+	}
+}
+
+// startGoroutineBatch places a whole batch on recycled goroutines under
+// ONE freelist lock acquisition, starting fresh goroutines for any
+// remainder. Handing work to a claimed worker inside the critical
+// section is safe for the same reason startGoroutine's hand-off is safe
+// outside it: the mailbox is buffered and the claimer holds the only
+// reference, so the send can never block.
+func (r *Runtime) startGoroutineBatch(ts []*Task, specs []SpawnSpec) {
+	i := 0
+	r.spawnMu.Lock()
+	for i < len(ts) {
+		n := len(r.spawnFree)
+		if n == 0 {
+			break
+		}
+		w := r.spawnFree[n-1]
+		r.spawnFree[n-1] = nil
+		r.spawnFree = r.spawnFree[:n-1]
+		w.req <- spawnReq{ts[i], specs[i].Body}
+		i++
+	}
+	r.spawnMu.Unlock()
+	for ; i < len(ts); i++ {
+		go r.spawnLoop(ts[i], specs[i].Body)
+	}
+}

@@ -136,6 +136,27 @@ func WithAlarmHandler(f func(error)) Option { return func(r *Runtime) { r.onAlar
 // for an elastic pool alternative.
 func WithExecutor(exec func(func())) Option { return func(r *Runtime) { r.exec = exec } }
 
+// WithBatchExecutor installs a vectorized submit used by Task.AsyncBatch
+// when a custom executor is present: the whole batch is handed over in
+// one call, so the executor can amortize its submission bookkeeping
+// (deque pushes, wakeups, searcher accounting) across the batch. Without
+// it, AsyncBatch falls back to one WithExecutor call per child. Ignored
+// when no WithExecutor is set — the built-in goroutine freelist batches
+// natively. See sched.Elastic.ExecuteBatch for the intended pairing.
+func WithBatchExecutor(exec func([]func())) Option {
+	return func(r *Runtime) { r.execBatch = exec }
+}
+
+// WithInlineSpawn redirects every Async/AsyncNamed/MustAsync through the
+// inline run-to-completion path (Task.AsyncInline): the child's body
+// executes on the caller's goroutine until its first blocking wait, then
+// migrates to the scheduler if still clean or commits the wait in place
+// with full detector visibility. Spawns of short non-blocking tasks then
+// cost no context switch at all. AsyncInline's contract applies to every
+// spawn — in particular, a body's side effects before its first promise
+// operation may execute twice. Off by default.
+func WithInlineSpawn(on bool) Option { return func(r *Runtime) { r.inlineSpawn = on } }
+
 // WithTaskPooling recycles terminated Task objects through a per-runtime
 // sync.Pool, eliminating the Task allocation from the steady-state spawn
 // path (QSort-style spawn storms reuse a small working set of handles).
@@ -207,6 +228,8 @@ type Runtime struct {
 	countEvents bool
 	onAlarm     func(error)
 	exec        func(func()) // nil selects the built-in goroutine-per-task start
+	execBatch   func([]func())
+	inlineSpawn bool
 	taskPool    *sync.Pool
 	registry    *traceRegistry
 	gdet        *globalDetector

@@ -64,6 +64,14 @@ type Task struct {
 	// forever when tracing is off or unstaged.
 	stage []Event
 
+	// Inline run-to-completion state (see inline.go). All three fields are
+	// confined to the goroutine currently executing the task — the host's
+	// goroutine during an inline attempt — so they are plain fields. Zero
+	// for every scheduled task.
+	inline      uint8 // inlineNone / inlineSpeculative / inlineDirty / ...
+	inlineHost  *Task // the task whose goroutine this body is borrowing
+	inlineDepth uint8 // nesting depth of inline spawns, capped at maxInlineDepth
+
 	// waited is set (sticky) as the very first action of Wait. Under
 	// WithTaskPooling the terminating goroutine reads it after signalling
 	// done and refuses to recycle a handle that anyone waited on. The
@@ -110,9 +118,9 @@ func (t *Task) Runtime() *Runtime { return t.rt }
 // buffer before blocking — Wait receives only the awaited handle, so
 // the caller (which may not be a task at all) is unknown here. A task
 // that parks in Wait can therefore withhold up to a buffer's worth of
-// its own already-sequenced events until it resumes; traces of programs
-// that hang inside Wait may be missing those records. Policy-visible
-// waits (Get/Await), the paper's model, always flush first.
+// its own already-sequenced events until it resumes; use WaitFrom when
+// the caller is itself a task to close that gap. Policy-visible waits
+// (Get/Await), the paper's model, always flush first.
 func (t *Task) Wait() error {
 	// The waited store MUST precede any gate access: it is the seq-cst
 	// marker the terminating goroutine checks before recycling the
@@ -121,6 +129,21 @@ func (t *Task) Wait() error {
 	t.waited.Store(true)
 	<-t.done.wait()
 	return t.err
+}
+
+// WaitFrom is Wait for callers that are themselves tasks. Naming the
+// caller lets the runtime drain the CALLER's trace staging buffer before
+// parking, closing the documented Wait gap: a trace cut short while
+// caller sleeps inside this join still contains every event the caller
+// had already sequenced. The join itself is identical to Wait — not
+// policy-checked, invisible to the deadlock detector.
+//
+// A nil caller is allowed and makes WaitFrom exactly Wait.
+func (t *Task) WaitFrom(caller *Task) error {
+	if caller != nil {
+		caller.rt.flushStageIfStaged(caller)
+	}
+	return t.Wait()
 }
 
 // OwnedPromises returns the promises this task currently owns. Like the
@@ -202,46 +225,71 @@ func (t *Task) MustAsync(f TaskFunc, moved ...Movable) *Task {
 }
 
 func (t *Task) async(name string, f TaskFunc, moved []Movable) (*Task, error) {
+	if t.rt.inlineSpawn {
+		return t.asyncInline(name, f, moved)
+	}
+	return t.asyncScheduled(name, f, moved)
+}
+
+// asyncScheduled is the classic spawn: hand the body to the executor (or
+// the goroutine freelist) unconditionally. AsyncInline's depth-cap
+// fallback lands here too, bypassing the WithInlineSpawn dispatch.
+func (t *Task) asyncScheduled(name string, f TaskFunc, moved []Movable) (*Task, error) {
+	t.markDirty() // a spawn is runtime-visible: an inline spawner cannot restart
 	r := t.rt
 	child := r.newTask(name, t)
 	if r.mode >= Ownership && len(moved) > 0 {
-		// Two passes over the moved set — validate everything, then
-		// transfer everything — so a rejected spawn leaves ownership
-		// untouched. The passes iterate the arguments in place instead of
-		// materializing Flatten's []AnyPromise: the variadic slice then
-		// never escapes, and the overwhelmingly common case (one promise
-		// moved directly) walks zero intermediate slices. A *Promise[T]
-		// is its own AnyPromise, so only composite Movables (collections,
-		// Group) pay the Promises() expansion.
-		if err := eachMoved(moved, func(ap AnyPromise) error {
-			if owner := ap.state().owner.Load(); owner != t {
-				return ownershipError("move", t, ap, owner)
-			}
-			return nil
-		}); err != nil {
+		if err := t.validateMoved(moved); err != nil {
 			r.alarm(err)
 			return nil, err
 		}
-		eachMoved(moved, func(ap AnyPromise) error {
-			s := ap.state()
-			if s.owner.Load() == child {
-				// The same promise listed twice in one spawn (directly or
-				// through overlapping collections): transfer it once.
-				return nil
-			}
-			s.owner.Store(child)
-			t.noteDischarged(ap)
-			child.noteOwned(ap)
-			if r.events != nil {
-				// Arg carries the destination task ID so the offline
-				// verifier can track ownership without parsing the detail.
-				r.logEventArg(EvMove, t, s, child.id, "to "+child.displayName())
-			}
-			return nil
-		})
+		t.transferMoved(child, moved)
 	}
 	r.startTask(child, f)
 	return child, nil
+}
+
+// validateMoved checks that t currently owns every promise in the moved
+// set (rule 2's precondition). Validation is separate from transfer —
+// validate everything, then transfer everything — so a rejected spawn
+// leaves ownership untouched. Both passes iterate the arguments in place
+// instead of materializing Flatten's []AnyPromise: the variadic slice
+// then never escapes, and the overwhelmingly common case (one promise
+// moved directly) walks zero intermediate slices. A *Promise[T] is its
+// own AnyPromise, so only composite Movables (collections, Group) pay
+// the Promises() expansion.
+func (t *Task) validateMoved(moved []Movable) error {
+	return eachMoved(moved, func(ap AnyPromise) error {
+		if owner := ap.state().owner.Load(); owner != t {
+			return ownershipError("move", t, ap, owner)
+		}
+		return nil
+	})
+}
+
+// transferMoved moves every promise in the moved set from t to child
+// (rule 2). The caller must have validated the set first. A promise
+// that t no longer owns is skipped silently: that happens exactly when
+// the same promise is listed twice — within one spawn (directly or
+// through overlapping collections) or across the specs of one
+// AsyncBatch, where the first listing wins.
+func (t *Task) transferMoved(child *Task, moved []Movable) {
+	r := t.rt
+	eachMoved(moved, func(ap AnyPromise) error {
+		s := ap.state()
+		if s.owner.Load() != t {
+			return nil
+		}
+		s.owner.Store(child)
+		t.noteDischarged(ap)
+		child.noteOwned(ap)
+		if r.events != nil {
+			// Arg carries the destination task ID so the offline
+			// verifier can track ownership without parsing the detail.
+			r.logEventArg(EvMove, t, s, child.id, "to "+child.displayName())
+		}
+		return nil
+	})
 }
 
 // eachMoved applies fn to every promise the moved set expands to,
@@ -321,6 +369,7 @@ func (r *Runtime) releaseTask(t *Task) {
 	t.owned = t.owned[:0]
 	t.ownedCount = 0
 	t.err = nil
+	t.inline, t.inlineHost, t.inlineDepth = inlineNone, nil, 0
 	// The staging buffer was flushed at task end; scrub the retained
 	// entries (they pin event strings) and keep the capacity — the
 	// buffer is part of the recycled block, so a pooled task's
@@ -359,14 +408,21 @@ func (r *Runtime) startTask(t *Task, f TaskFunc) {
 	r.exec(func() { r.runTask(t, f) })
 }
 
-// runTask is the body wrapper every task runs: invoke, enforce rule 3,
-// publish the result, and recycle the handle if pooling is on.
+// runTask is the body wrapper every scheduled task runs: invoke the body
+// on this goroutine, then complete. Inline tasks skip runTask (their body
+// ran via invokeInline) and call completeTask directly.
 func (r *Runtime) runTask(t *Task, f TaskFunc) {
+	r.completeTask(t, invokeTask(f, t))
+}
+
+// completeTask is a task's termination protocol: enforce rule 3, publish
+// the result, pair the accounting startTask/startTaskInline opened, and
+// recycle the handle if pooling is on.
+func (r *Runtime) completeTask(t *Task, err error) {
 	defer r.wg.Done()
 	if r.idle != nil {
 		defer r.idle.taskFinished()
 	}
-	err := invokeTask(f, t)
 	err = r.finishTask(t, err)
 	t.err = err
 	if r.events != nil {

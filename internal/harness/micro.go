@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -114,33 +115,146 @@ func SpawnFixture(t *core.Task) (func(int) error, error) {
 	}, nil
 }
 
+// SpawnInlineFixture is SpawnFixture through the inline
+// run-to-completion path: the child's body (a single Set) executes on
+// the parent's goroutine, so the whole spawn+join costs no context
+// switch. The body closure is hoisted out of the step — it captures the
+// promise cell, which the step rewrites per iteration before spawning —
+// so the steady-state iteration allocates only the promise itself.
+func SpawnInlineFixture(t *core.Task) (func(int) error, error) {
+	var p *core.Promise[struct{}]
+	body := func(c *core.Task) error { return p.Set(c, struct{}{}) }
+	return func(int) error {
+		p = core.NewPromise[struct{}](t)
+		if _, err := t.AsyncInline(body, p); err != nil {
+			return err
+		}
+		_, err := p.Get(t)
+		return err
+	}, nil
+}
+
+// BatchWidth is the fan-out of the spawn-batch micro. 64 is large enough
+// that per-batch costs are visibly amortized and small enough to be a
+// realistic fan-out unit.
+const BatchWidth = 64
+
+// SpawnBatchFixture's step spawns BatchWidth children in ONE AsyncBatch
+// call — each setting its own moved promise — then joins through the
+// promises. Specs, bodies, and moved sets are hoisted and reused across
+// iterations (each body captures its slot index into the promise array),
+// so the iteration's allocations are the promises plus AsyncBatch's own
+// children slice. MeasureMicros divides this row by BatchWidth: it reads
+// as amortized cost per spawn, directly comparable to the spawn row.
+func SpawnBatchFixture(t *core.Task) (func(int) error, error) {
+	var (
+		proms [BatchWidth]*core.Promise[struct{}]
+		specs [BatchWidth]core.SpawnSpec
+		moved [BatchWidth][1]core.Movable
+	)
+	for k := range specs {
+		k := k
+		specs[k].Body = func(c *core.Task) error { return proms[k].Set(c, struct{}{}) }
+		specs[k].Moved = moved[k][:]
+	}
+	return func(int) error {
+		for k := range proms {
+			p := core.NewPromise[struct{}](t)
+			proms[k] = p
+			moved[k][0] = p
+		}
+		if _, err := t.AsyncBatch(specs[:]); err != nil {
+			return err
+		}
+		for k := range proms {
+			if _, err := proms[k].Get(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// SetGetSlabFixture is SetGetFixture with the promise carved out of a
+// PromiseArena instead of heap-allocated: in Unverified mode the
+// fulfilled promise is recycled every iteration (steady state allocates
+// nothing), in the verified modes recycling is refused and the cost is
+// one slab allocation per arenaBlock promises — either way below 1
+// alloc/op.
+func SetGetSlabFixture(t *core.Task) (func(int) error, error) {
+	arena := core.NewPromiseArena[int](t)
+	return func(i int) error {
+		p := arena.New(t)
+		if err := p.Set(t, i); err != nil {
+			return err
+		}
+		if _, err := p.Get(t); err != nil {
+			return err
+		}
+		arena.Recycle(p)
+		return nil
+	}, nil
+}
+
 // MeasureMicros runs the fast-path microbenchmarks — fulfilled-promise
 // Get, Set/Get round-trip, spawn+join with one moved promise, the
-// pooled-spawn variant, and the Set/Get round-trip with binary tracing
+// pooled, inline, and batched spawn variants, the slab-allocated
+// Set/Get round-trip, and the Set/Get round-trip with binary tracing
 // active — across the requested modes. Options are built per
 // measurement so stateful fixtures (the trace sink) are never shared
-// between runtimes.
+// between runtimes. Rows with div > 1 perform div logical operations
+// per step and are reported amortized (figures divided by div).
 func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 	var out []Micro
+	var cleanups []func()
+	defer func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}()
 	for _, mode := range modes {
 		for _, bench := range []struct {
 			name  string
 			iters int
+			div   int
 			opts  func() []core.Option
 			setup func(t *core.Task) (func(int) error, error)
 		}{
-			{"fulfilled-get", microIters, nil, FulfilledGetFixture},
-			{"setget", microIters, nil, SetGetFixture},
-			{"spawn", microIters / 4, nil, SpawnFixture},
-			{"spawn-pooled", microIters / 4, func() []core.Option {
+			{"fulfilled-get", microIters, 0, nil, FulfilledGetFixture},
+			{"setget", microIters, 0, nil, SetGetFixture},
+			{"setget-slab", microIters, 0, nil, SetGetSlabFixture},
+			{"spawn", microIters / 4, 0, nil, SpawnFixture},
+			{"spawn-pooled", microIters / 4, 0, func() []core.Option {
 				return []core.Option{core.WithTaskPooling(true)}
 			}, SpawnFixture},
+			// The floor-breaking rows: inline run-to-completion (no context
+			// switch at all) and the amortized per-spawn cost of a
+			// 64-wide AsyncBatch. Both use task pooling, as real
+			// fan-out-heavy callers would.
+			{"spawn-inline", microIters / 4, 0, func() []core.Option {
+				return []core.Option{core.WithTaskPooling(true)}
+			}, SpawnInlineFixture},
+			// spawn-batch runs on the elastic scheduler with the vectorized
+			// submit — the serving configuration, and the place batching
+			// structurally wins: a worker drains its deque back-to-back, so
+			// consecutive batch children run WITHOUT a park/wake context
+			// switch between them, which the goroutine-per-task freelist
+			// cannot avoid. The pool is torn down after the measurement.
+			{"spawn-batch", microIters / (4 * BatchWidth), BatchWidth, func() []core.Option {
+				pool := sched.NewElastic(100 * time.Millisecond)
+				cleanups = append(cleanups, pool.Close)
+				return []core.Option{
+					core.WithTaskPooling(true),
+					core.WithExecutor(pool.Execute),
+					core.WithBatchExecutor(pool.ExecuteBatch),
+				}
+			}, SpawnBatchFixture},
 			// The trace-overhead row: the same Set/Get round-trip with every
 			// event streamed through the lock-free collector and the binary
 			// encoder (the encoding happens on the background drain
 			// goroutine, so the figure includes its allocations — that is
 			// the honest whole-subsystem cost per operation).
-			{"setget-traced", microIters, func() []core.Option {
+			{"setget-traced", microIters, 0, func() []core.Option {
 				return []core.Option{core.TraceTo(trace.NewWriterSink(io.Discard))}
 			}, SetGetFixture},
 		} {
@@ -151,6 +265,12 @@ func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 			m, err := measureMicro(bench.name, mode, bench.iters, opts, bench.setup)
 			if err != nil {
 				return nil, err
+			}
+			if bench.div > 1 {
+				d := float64(bench.div)
+				m.NsPerOp /= d
+				m.BPerOp /= d
+				m.AllocsPerOp /= d
 			}
 			out = append(out, m)
 		}

@@ -173,6 +173,34 @@ func (w *worker) push(e *Elastic, f func(), try bool) bool {
 	return true
 }
 
+// pushBatch appends as many jobs from fs as fit, under one lock
+// acquisition and one pending update, returning how many were taken
+// (0 when retired, full, or — with try — contended).
+func (w *worker) pushBatch(e *Elastic, fs []func(), try bool) int {
+	if try {
+		if !w.mu.TryLock() {
+			return 0
+		}
+	} else {
+		w.mu.Lock()
+	}
+	if w.retired {
+		w.mu.Unlock()
+		return 0
+	}
+	n := 0
+	for n < len(fs) && w.tail-w.head < dequeCap {
+		w.buf[w.tail&dequeMask] = fs[n]
+		w.tail++
+		n++
+	}
+	if n > 0 {
+		e.pending.Add(int64(n))
+	}
+	w.mu.Unlock()
+	return n
+}
+
 // pop takes the newest job (the owner side: most recently pushed, cache
 // warm), or nil.
 func (w *worker) pop(e *Elastic) func() {
@@ -232,6 +260,46 @@ func (e *Elastic) Execute(f func()) {
 		e.wake(w)
 	}
 	e.spawnWorker(f, &e.spawned)
+}
+
+// ExecuteBatch schedules every job in fs, amortizing the submission
+// machinery across the batch: each absorbing deque is filled under ONE
+// lock acquisition with ONE pending update (pushBatch), followed by one
+// searcher check or wake for the whole chunk — where per-job Execute
+// would pay a TryLock, a pending increment, and an ensureSearcher per
+// job. Semantically identical to calling Execute on each job in order
+// (same FIFO steal-side draining, same never-blocks, never-bounds
+// guarantees, same post-Close degradation).
+func (e *Elastic) ExecuteBatch(fs []func()) {
+	for len(fs) > 0 {
+		// Burst fast path: land as much of the batch as fits on the
+		// current target deque.
+		if t := e.target.Load(); t != nil {
+			if n := t.pushBatch(e, fs, true); n > 0 {
+				e.reused.Add(int64(n))
+				fs = fs[n:]
+				e.ensureSearcher()
+				continue
+			}
+		}
+		// No target, or its deque is contended/full/retired: claim a
+		// parked worker, seed it with a chunk, and make it the new target.
+		if w := e.popParked(); w != nil {
+			if n := w.pushBatch(e, fs, false); n > 0 {
+				e.reused.Add(int64(n))
+				fs = fs[n:]
+				e.target.Store(w)
+				e.wake(w)
+				continue
+			}
+			e.wake(w) // full deque: wake it to drain, seed fresh below
+		}
+		// Seed a fresh worker with one job; it becomes the target, so the
+		// next iteration pushes the remainder onto its empty deque. On a
+		// closed pool this degrades to one bare goroutine per job.
+		e.spawnWorker(fs[0], &e.spawned)
+		fs = fs[1:]
+	}
 }
 
 // wake marks w searching and delivers its wake token. The searching
@@ -663,6 +731,26 @@ func (t *Tenant) Execute(f func()) {
 		defer t.inflight.Add(-1)
 		f()
 	})
+}
+
+// ExecuteBatch submits every job in fs through the pool's vectorized
+// path (Elastic.ExecuteBatch), attributed to this tenant. Pairs with
+// core.WithBatchExecutor.
+func (t *Tenant) ExecuteBatch(fs []func()) {
+	if len(fs) == 0 {
+		return
+	}
+	t.submitted.Add(int64(len(fs)))
+	t.inflight.Add(int64(len(fs)))
+	wrapped := make([]func(), len(fs))
+	for i, f := range fs {
+		f := f
+		wrapped[i] = func() {
+			defer t.inflight.Add(-1)
+			f()
+		}
+	}
+	t.e.ExecuteBatch(wrapped)
 }
 
 // Stats reports how many jobs the tenant has submitted in total and how

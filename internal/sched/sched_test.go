@@ -259,3 +259,100 @@ func TestTenantAccounting(t *testing.T) {
 		t.Fatalf("tenant b submitted=%d after drain, want 3", sub)
 	}
 }
+
+func TestElasticExecuteBatchRunsEverything(t *testing.T) {
+	ex := NewElastic(10 * time.Millisecond)
+	defer ex.Close()
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	// Several batches, including one larger than a worker deque, so the
+	// multi-push spills across workers and spawned remainders.
+	for _, size := range []int{1, 64, dequeCap + 50} {
+		fs := make([]func(), size)
+		wg.Add(size)
+		for i := range fs {
+			fs[i] = func() { n.Add(1); wg.Done() }
+		}
+		ex.ExecuteBatch(fs)
+	}
+	wg.Wait()
+	if want := int32(1 + 64 + dequeCap + 50); n.Load() != want {
+		t.Fatalf("ran %d, want %d", n.Load(), want)
+	}
+}
+
+func TestElasticExecuteBatchEmpty(t *testing.T) {
+	ex := NewElastic(10 * time.Millisecond)
+	defer ex.Close()
+	ex.ExecuteBatch(nil) // must not wake or spawn anything
+}
+
+func TestElasticExecuteBatchBlockedJobsDoNotStrand(t *testing.T) {
+	// A batch whose first jobs block must not strand the later jobs of the
+	// same batch: the pool keeps spawning searchers, so every job still
+	// runs even when earlier ones park on the gate forever-ish.
+	ex := NewElastic(10 * time.Millisecond)
+	defer ex.Close()
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const blocked, free = 4, 16
+	fs := make([]func(), 0, blocked+free)
+	wg.Add(free)
+	for i := 0; i < blocked; i++ {
+		fs = append(fs, func() { <-gate })
+	}
+	var n atomic.Int32
+	for i := 0; i < free; i++ {
+		fs = append(fs, func() { n.Add(1); wg.Done() })
+	}
+	ex.ExecuteBatch(fs)
+	wg.Wait()
+	close(gate)
+	if n.Load() != free {
+		t.Fatalf("ran %d free jobs, want %d", n.Load(), free)
+	}
+}
+
+func TestElasticExecuteBatchAfterClose(t *testing.T) {
+	ex := NewElastic(10 * time.Millisecond)
+	ex.Close()
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(8)
+	fs := make([]func(), 8)
+	for i := range fs {
+		fs[i] = func() { n.Add(1); wg.Done() }
+	}
+	ex.ExecuteBatch(fs) // degrades to goroutine-per-job, still runs all
+	wg.Wait()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d after Close, want 8", n.Load())
+	}
+}
+
+func TestTenantExecuteBatchAccounting(t *testing.T) {
+	ex := NewElastic(10 * time.Millisecond)
+	defer ex.Close()
+	tn := ex.Tenant("s1")
+	var wg sync.WaitGroup
+	const n = 32
+	wg.Add(n)
+	fs := make([]func(), n)
+	for i := range fs {
+		fs[i] = func() { wg.Done() }
+	}
+	tn.ExecuteBatch(fs)
+	wg.Wait()
+	// Drain: inflight decrements happen after wg.Done, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		submitted, inflight := tn.Stats()
+		if submitted == n && inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %d submitted, %d inflight; want %d and 0", submitted, inflight, n)
+		}
+		runtime.Gosched()
+	}
+}

@@ -176,7 +176,8 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 		runtimeOpts: append(append(append([]core.Option{}, p.cfg.Runtime...), opts...),
-			core.WithExecutor(tenant.Execute)),
+			core.WithExecutor(tenant.Execute),
+			core.WithBatchExecutor(tenant.ExecuteBatch)),
 	}
 	p.submitted.Add(1)
 	go p.runSession(s, main, queued)

@@ -1,0 +1,63 @@
+package microfan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func TestSumMatchesSequentialAllModes(t *testing.T) {
+	cfg := Small()
+	want := RunSequential(cfg)
+	for _, mode := range testutil.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := core.NewRuntime(core.WithMode(mode))
+			var got uint64
+			testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+				var err error
+				got, err = Run(tk, cfg)
+				return err
+			})
+			if got != want {
+				t.Fatalf("sum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestInlineDisabledStillMatches pins the InlineEvery knob: with and
+// without inline grandchildren the reduction is identical.
+func TestInlineDisabledStillMatches(t *testing.T) {
+	cfg := Small()
+	cfg.InlineEvery = 0
+	want := RunSequential(cfg)
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestPooledRuntime runs the workload under the spawn configuration the
+// serving layer uses (task pooling), across a few waves, to catch
+// recycling bugs in the batch path.
+func TestPooledRuntime(t *testing.T) {
+	cfg := Config{Rounds: 6, Width: 32, Work: 32, InlineEvery: 2}
+	want := RunSequential(cfg)
+	rt := core.NewRuntime(core.WithMode(core.Full), core.WithTaskPooling(true))
+	var got uint64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}

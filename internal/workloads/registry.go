@@ -1,12 +1,14 @@
 // Package workloads registers the nine benchmarks of the paper's
-// evaluation (§6.3) so the harness, the benchtable/figure1 commands, and
-// the testing.B benches all draw from one list.
+// evaluation (§6.3) — plus MicroFan, the repository's own fan-out-heavy
+// spawn-floor probe — so the harness, the benchtable/figure1 commands,
+// and the testing.B benches all draw from one list.
 package workloads
 
 import (
 	"repro/internal/core"
 	"repro/internal/workloads/conway"
 	"repro/internal/workloads/heat"
+	"repro/internal/workloads/microfan"
 	"repro/internal/workloads/qsort"
 	"repro/internal/workloads/randomized"
 	"repro/internal/workloads/sieve"
@@ -59,7 +61,8 @@ func pick[T any](s Scale, small, def, paper T) T {
 	}
 }
 
-// All returns the nine benchmarks in the paper's Table 1 order.
+// All returns the nine benchmarks in the paper's Table 1 order, followed
+// by the repository's MicroFan spawn-floor probe.
 func All() []Entry {
 	return []Entry{
 		{"Conway", func(s Scale) func() core.TaskFunc {
@@ -98,6 +101,10 @@ func All() []Entry {
 			cfg := pick(s, streamcluster.Small(), streamcluster.Default(), streamcluster.Paper())
 			cfg.Variant2 = true
 			return func() core.TaskFunc { return streamcluster.Main(cfg) }
+		}},
+		{"MicroFan", func(s Scale) func() core.TaskFunc {
+			cfg := pick(s, microfan.Small(), microfan.Default(), microfan.Paper())
+			return func() core.TaskFunc { return microfan.Main(cfg) }
 		}},
 	}
 }
