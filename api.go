@@ -10,6 +10,9 @@
 //	internal/core        ownership policy + deadlock detector (the paper)
 //	internal/collections Channel (Listing 4), Future, Finish, barriers
 //	internal/sched       task executors
+//	internal/serve       the multi-session serving layer (Pool/Session)
+//	internal/trace       binary trace sinks + offline verification
+//	internal/obs         metrics: counters, windows, /metrics endpoint
 //	internal/harness     the Table 1 / Figure 1 measurement harness
 //	internal/workloads   the nine evaluation benchmarks
 //
@@ -38,6 +41,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -205,6 +209,9 @@ type (
 	PoolConfig = serve.Config
 	// PoolStats is the pool's aggregate accounting snapshot.
 	PoolStats = serve.PoolStats
+	// PoolObservation is Pool.Observe's windowed latency digest: recent
+	// (not lifetime) queue-wait and execution-time quantiles.
+	PoolObservation = serve.Observation
 	// Session is one submitted program's handle.
 	Session = serve.Session
 	// Verdict classifies how a session ended.
@@ -235,6 +242,34 @@ var (
 	ErrPoolSaturated = serve.ErrPoolSaturated
 	// ErrPoolClosed rejects a Submit after Pool.Close.
 	ErrPoolClosed = serve.ErrPoolClosed
+)
+
+// Observability surface (see internal/obs): a process-wide metrics
+// registry of lock-free padded-atomic counters, gauges, labeled counter
+// families and windowed latency recorders. With no registry installed
+// every instrumentation site in the runtime costs one atomic pointer
+// load and a branch; InstallMetrics turns the counters on process-wide,
+// and ServeMetrics exposes the registry over HTTP (/metrics Prometheus
+// text, /metrics.json snapshot JSON, /debug/pprof).
+type (
+	// MetricsRegistry is a named set of metrics with a cheap snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every registered metric.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsServer is the HTTP endpoint returned by ServeMetrics.
+	MetricsServer = obs.Server
+)
+
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// InstallMetrics makes reg the process-wide registry every subsystem
+	// reports into (nil uninstalls — instrumentation reverts to free).
+	InstallMetrics = obs.Install
+	// InstalledMetrics returns the process-wide registry, or nil.
+	InstalledMetrics = obs.Installed
+	// ServeMetrics serves reg (nil = the installed registry) over HTTP.
+	ServeMetrics = obs.Serve
 )
 
 // ErrTimeout is returned by Runtime.RunWithTimeout on a hang, and is the

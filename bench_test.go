@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -159,6 +160,21 @@ func BenchmarkMicro_BlockingGet(b *testing.B) {
 
 // BenchmarkMicro_Spawn measures task spawn+join with one moved promise.
 func BenchmarkMicro_Spawn(b *testing.B) {
+	for _, mode := range []core.Mode{core.Unverified, core.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchFixture(b, harness.SpawnFixture, core.WithMode(mode))
+		})
+	}
+}
+
+// BenchmarkMicro_SpawnInstrumented is BenchmarkMicro_Spawn with a
+// metrics registry installed, so every spawn pays the real per-site
+// counter increments. The delta against the bare spawn row is the whole
+// cost of turning observability on; the perf gate bounds it at one
+// extra alloc and 10% ns.
+func BenchmarkMicro_SpawnInstrumented(b *testing.B) {
+	obs.Install(obs.NewRegistry())
+	defer obs.Install(nil)
 	for _, mode := range []core.Mode{core.Unverified, core.Full} {
 		b.Run(mode.String(), func(b *testing.B) {
 			benchFixture(b, harness.SpawnFixture, core.WithMode(mode))

@@ -9,7 +9,7 @@
 //	loadgen [-sessions N] [-queue N] [-drivers N] [-d duration] [-mix all|spec]
 //	        [-scale small|default|paper] [-mode full|ownership|unverified]
 //	        [-detector lockfree|globallock] [-inject frac] [-deadline spec]
-//	        [-seed N] [-json file] [-v]
+//	        [-seed N] [-json file] [-metrics addr] [-metrics-out file] [-v]
 //
 // -drivers sets the closed-loop submitter count; the default,
 // sessions+queue, keeps both admission tiers full without rejections,
@@ -36,6 +36,17 @@
 // verdict. A class of "none" (or "0") means no deadline; omitting it
 // gives EVERY session a deadline drawn from the listed classes.
 //
+// -metrics serves the process metrics registry over HTTP for the run's
+// duration: /metrics (Prometheus text format), /metrics.json (the
+// snapshot as JSON) and /debug/pprof. -metrics-out writes one final
+// snapshot to a file at the end of the run. Either flag installs the
+// process-wide registry (internal/obs) BEFORE the pool is built, which
+// also turns on the runtime's spawn/scheduler/trace instrumentation and
+// registers the pool's windowed latency recorders — so the scrape
+// endpoint and Pool.Observe read the same buckets. The printed report
+// and the -json output gain an "observe" section: the windowed
+// p50/p99 next to the lifetime percentiles.
+//
 // -json writes the report as JSON. If the target file already exists and
 // is a benchtable report (BENCH_table1.json), the report is merged in
 // under a "serve" key, leaving every other section untouched — the serve
@@ -58,6 +69,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workloads"
 )
@@ -228,6 +240,10 @@ type serveReport struct {
 	Scenarios   []scenarioReport `json:"scenarios"`
 	Total       scenarioReport   `json:"total"`
 	Pool        serve.PoolStats  `json:"pool"`
+	// Observe is the pool's windowed latency digest (roughly the last 30s
+	// of completed sessions), taken right after the drivers stop — the
+	// live-quantile view next to the lifetime percentiles above.
+	Observe serve.Observation `json:"observe"`
 }
 
 // writeJSON writes rep to path; when path holds an existing JSON object
@@ -269,6 +285,8 @@ func main() {
 	deadlineSpec := flag.String("deadline", "", `per-session deadline mix: "DUR[:weight],..." ("5ms:1,none:9"; "none"/"0" = no deadline)`)
 	seed := flag.Int64("seed", 1, "mix-draw RNG seed")
 	jsonOut := flag.String("json", "", `write/merge the report as JSON ("serve" section of a benchtable file)`)
+	metricsAddr := flag.String("metrics", "", `serve /metrics (Prometheus text), /metrics.json and /debug/pprof on this address during the run (e.g. "127.0.0.1:9100")`)
+	metricsOut := flag.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 	verbose := flag.Bool("v", false, "log each rejected submission and scenario totals as they close")
 	flag.Parse()
 
@@ -340,6 +358,25 @@ func main() {
 	}
 	var statsMu sync.Mutex
 	total := harness.NewHistogram()
+
+	// Install the registry BEFORE NewPool so the pool's latency windows
+	// register under their serve_* names and the scrape endpoint reads
+	// the same buckets Pool.Observe does.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		obs.Install(reg)
+	}
+	var metricsSrv *obs.Server
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "loadgen: metrics on http://%s/metrics (also /metrics.json, /debug/pprof)\n", srv.Addr())
+	}
 
 	goroutinesBefore := runtime.NumGoroutine()
 	pool := serve.NewPool(serve.Config{
@@ -434,6 +471,10 @@ func main() {
 		}(d)
 	}
 	wg.Wait()
+	// Digest the windowed recorders before Close's drain eats into the
+	// window: this is the live view an operator polling Pool.Observe (or
+	// scraping /metrics) saw at end of run.
+	observation := pool.Observe()
 	pool.Close()
 	elapsed := time.Since(start)
 
@@ -495,6 +536,13 @@ func main() {
 	fmt.Printf("pool: peak %d in-flight, %d rejected, %d canceled (%d deadline-injected), %d tasks, workers %d spawned / %d reused / %d thieves, %d steals, %d wakes, %d dropped events\n",
 		ps.Peak, ps.Rejected, ps.Canceled, deadlined, ps.TasksRun, ps.WorkersSpawned, ps.WorkersReused, ps.WorkerThieves, ps.Steals, ps.Wakes, ps.EventsDropped)
 	fmt.Printf("goroutines: %d before, %d leaked after Close\n", goroutinesBefore, leaked)
+	// The windowed digest next to the lifetime percentiles: over a run
+	// shorter than the window span the two p99s must roughly agree (the
+	// obs acceptance bound is 2x); over a longer run the window only
+	// holds the most recent traffic, which is exactly its point.
+	fmt.Printf("observe (last %v): exec n=%d p50=%.3fms p99=%.3fms | queue-wait p99=%.3fms (lifetime exec p99=%.3fms)\n",
+		observation.Span, observation.Exec.Count, observation.Exec.P50Ms, observation.Exec.P99Ms,
+		observation.QueueWait.P99Ms, totalSum.P99Ms)
 
 	if *jsonOut != "" {
 		rep := serveReport{
@@ -511,12 +559,28 @@ func main() {
 			Scenarios:   rows,
 			Total:       totalRow,
 			Pool:        ps,
+			Observe:     observation,
 		}
 		if err := writeJSON(*jsonOut, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *jsonOut)
+	}
+
+	if *metricsOut != "" {
+		buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: metrics snapshot written to %s\n", *metricsOut)
+	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
 	}
 
 	bad := false

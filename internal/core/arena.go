@@ -54,6 +54,9 @@ func (a *PromiseArena[T]) New(t *Task) *Promise[T] {
 		if a.next == len(a.slab) {
 			a.slab = make([]Promise[T], arenaBlock)
 			a.next = 0
+			if m := cmet(); m != nil {
+				m.arenaSlabs.Inc()
+			}
 		}
 		p = &a.slab[a.next]
 		a.next++
@@ -87,5 +90,8 @@ func (a *PromiseArena[T]) Recycle(p *Promise[T]) bool {
 		return false
 	}
 	a.free = append(a.free, p)
+	if m := cmet(); m != nil {
+		m.arenaRecycled.Inc()
+	}
 	return true
 }

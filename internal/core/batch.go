@@ -73,6 +73,9 @@ func (r *Runtime) startTaskBatch(parent *Task, ts []*Task, specs []SpawnSpec) {
 	n := len(ts)
 	r.wg.Add(n)
 	r.tasks.Add(int64(n))
+	if m := cmet(); m != nil {
+		m.spawnsBatch.Add(int64(n))
+	}
 	if r.idle != nil {
 		for range ts {
 			r.idle.taskStarted()

@@ -197,6 +197,9 @@ func (r *Runtime) canceled(t *Task, s *pstate, ctx context.Context) error {
 // blocking receive; a select with the armed subset runs otherwise (a nil
 // channel never fires).
 func (r *Runtime) blockOn(t *Task, s *pstate, ctx context.Context) error {
+	if m := cmet(); m != nil {
+		m.blocks.Inc()
+	}
 	var callDone <-chan struct{}
 	if ctx != nil {
 		callDone = ctx.Done()

@@ -156,6 +156,9 @@ func (t *Task) asyncInline(name string, f TaskFunc, moved []Movable) (*Task, err
 func (r *Runtime) startTaskInline(host, t *Task, f TaskFunc) {
 	r.wg.Add(1)
 	r.tasks.Add(1)
+	if m := cmet(); m != nil {
+		m.spawnsInline.Inc()
+	}
 	if r.idle != nil {
 		r.idle.taskStarted()
 	}
@@ -170,6 +173,9 @@ func (r *Runtime) startTaskInline(host, t *Task, f TaskFunc) {
 	t.inlineHost = nil
 	t.inlineDepth = 0
 	if migrate {
+		if m := cmet(); m != nil {
+			m.inlineMigrated.Inc()
+		}
 		if r.exec == nil {
 			r.startGoroutine(t, f)
 			return

@@ -389,6 +389,9 @@ func (r *Runtime) record(err error) {
 }
 
 func (r *Runtime) alarm(err error) {
+	if m := cmet(); m != nil {
+		m.countAlarm(err)
+	}
 	if r.events != nil {
 		r.logAlarm(err)
 	}

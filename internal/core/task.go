@@ -344,6 +344,12 @@ func (r *Runtime) newTask(name string, parent *Task) *Task {
 	var t *Task
 	if r.taskPool != nil {
 		t = r.taskPool.Get().(*Task)
+		// A recycled handle still carries its old rt; a pool-fresh one
+		// (New) is zero. That distinction is exactly "did pooling save
+		// the allocation", which is what the pooled-spawn counter means.
+		if m := cmet(); m != nil && t.rt != nil {
+			m.spawnsPooled.Inc()
+		}
 	} else {
 		t = &Task{}
 	}
@@ -391,6 +397,9 @@ func (r *Runtime) releaseTask(t *Task) {
 func (r *Runtime) startTask(t *Task, f TaskFunc) {
 	r.wg.Add(1)
 	r.tasks.Add(1)
+	if m := cmet(); m != nil {
+		m.spawnsScheduled.Inc()
+	}
 	if r.idle != nil {
 		r.idle.taskStarted()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -218,22 +219,23 @@ func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 			iters int
 			div   int
 			opts  func() []core.Option
+			after func() // runs right after the measurement, even on error
 			setup func(t *core.Task) (func(int) error, error)
 		}{
-			{"fulfilled-get", microIters, 0, nil, FulfilledGetFixture},
-			{"setget", microIters, 0, nil, SetGetFixture},
-			{"setget-slab", microIters, 0, nil, SetGetSlabFixture},
-			{"spawn", microIters / 4, 0, nil, SpawnFixture},
+			{"fulfilled-get", microIters, 0, nil, nil, FulfilledGetFixture},
+			{"setget", microIters, 0, nil, nil, SetGetFixture},
+			{"setget-slab", microIters, 0, nil, nil, SetGetSlabFixture},
+			{"spawn", microIters / 4, 0, nil, nil, SpawnFixture},
 			{"spawn-pooled", microIters / 4, 0, func() []core.Option {
 				return []core.Option{core.WithTaskPooling(true)}
-			}, SpawnFixture},
+			}, nil, SpawnFixture},
 			// The floor-breaking rows: inline run-to-completion (no context
 			// switch at all) and the amortized per-spawn cost of a
 			// 64-wide AsyncBatch. Both use task pooling, as real
 			// fan-out-heavy callers would.
 			{"spawn-inline", microIters / 4, 0, func() []core.Option {
 				return []core.Option{core.WithTaskPooling(true)}
-			}, SpawnInlineFixture},
+			}, nil, SpawnInlineFixture},
 			// spawn-batch runs on the elastic scheduler with the vectorized
 			// submit — the serving configuration, and the place batching
 			// structurally wins: a worker drains its deque back-to-back, so
@@ -248,7 +250,7 @@ func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 					core.WithExecutor(pool.Execute),
 					core.WithBatchExecutor(pool.ExecuteBatch),
 				}
-			}, SpawnBatchFixture},
+			}, nil, SpawnBatchFixture},
 			// The trace-overhead row: the same Set/Get round-trip with every
 			// event streamed through the lock-free collector and the binary
 			// encoder (the encoding happens on the background drain
@@ -256,13 +258,28 @@ func MeasureMicros(modes []core.Mode) ([]Micro, error) {
 			// the honest whole-subsystem cost per operation).
 			{"setget-traced", microIters, 0, func() []core.Option {
 				return []core.Option{core.TraceTo(trace.NewWriterSink(io.Discard))}
-			}, SetGetFixture},
+			}, nil, SetGetFixture},
+			// The instrumentation-overhead row: the same spawn+join as the
+			// spawn row, but with a metrics registry installed process-wide,
+			// so every spawn pays the real counter increments (one padded
+			// atomic per site). The gate holds this within 1 alloc and 10%
+			// ns of the bare spawn row; the registry is uninstalled right
+			// after the measurement so later rows run unobserved.
+			{"spawn-instrumented", microIters / 4, 0, func() []core.Option {
+				obs.Install(obs.NewRegistry())
+				return nil
+			}, func() { obs.Install(nil) }, SpawnFixture},
 		} {
-			var opts []core.Option
-			if bench.opts != nil {
-				opts = bench.opts()
-			}
-			m, err := measureMicro(bench.name, mode, bench.iters, opts, bench.setup)
+			m, err := func() (Micro, error) {
+				var opts []core.Option
+				if bench.opts != nil {
+					opts = bench.opts()
+				}
+				if bench.after != nil {
+					defer bench.after()
+				}
+				return measureMicro(bench.name, mode, bench.iters, opts, bench.setup)
+			}()
 			if err != nil {
 				return nil, err
 			}

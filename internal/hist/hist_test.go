@@ -1,0 +1,261 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within the log-linear error envelope (one sub-bucket width,
+	// i.e. <= 1/16 relative for values >= 16).
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 4095, 4096,
+		1e6, 1e9, 123456789, 1 << 40, 1<<62 + 12345} {
+		idx := histIndex(v)
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("v=%d: bucket upper %d below value", v, up)
+		}
+		if v >= 16 && float64(up-v) > float64(v)/16+1 {
+			t.Fatalf("v=%d: bucket upper %d too loose", v, up)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Fatalf("v=%d landed in bucket %d but previous bucket already covers it", v, idx)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms, exact ranks known.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		// Conservative upper-bound estimate within 7% of the true rank value.
+		if got < want || float64(got) > float64(want)*1.07 {
+			t.Fatalf("q%.2f = %v, want [%v, %v]", q, got, want, time.Duration(float64(want)*1.07))
+		}
+	}
+	check(0.50, 500*time.Millisecond)
+	check(0.90, 900*time.Millisecond)
+	check(0.99, 990*time.Millisecond)
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("min %v", h.Min())
+	}
+	if m := h.Mean(); m < 499*time.Millisecond || m > 502*time.Millisecond {
+		t.Fatalf("mean %v", m)
+	}
+	// The quantile never exceeds the true maximum even in the top bucket.
+	if h.Quantile(1) != 1000*time.Millisecond {
+		t.Fatalf("q1 = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyAndSummary(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamps to zero, does not underflow
+	h.Observe(2 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 2 || s.MaxMs < 1.9 || s.MaxMs > 2.2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// The loadgen drivers feed one histogram from many goroutines; run a
+	// mixed hammer (with -race in CI) and check nothing is lost.
+	h := NewHistogram()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(rng.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count %d, want %d", h.Count(), workers*each)
+	}
+}
+
+func TestHistogramQuantileRankIsCeil(t *testing.T) {
+	// Regression: rank truncation made p50 of {10,20,30} report the 1st
+	// observation's bucket instead of the 2nd.
+	h := NewHistogram()
+	for _, ms := range []int{10, 20, 30} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got < 20*time.Millisecond || got > 22*time.Millisecond {
+		t.Fatalf("p50 of {10,20,30}ms = %v, want ~20ms", got)
+	}
+	// q=0.99 over 101 observations must select rank 100 (ceil), not 99.
+	h2 := NewHistogram()
+	for i := 1; i <= 101; i++ {
+		h2.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h2.Quantile(0.99); got < 100*time.Millisecond {
+		t.Fatalf("p99 of 1..101ms = %v, want >= 100ms", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile (including the out-of-range ones) is zero.
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty q%.1f = %v", q, got)
+		}
+	}
+	// Single sample: every quantile is that sample (clamped to the true
+	// max, so no bucket rounding either).
+	h.Observe(7 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("single-sample q%.2f = %v, want 7ms", q, got)
+		}
+	}
+	// p100 = true maximum exactly, p0 = first rank. Out-of-range q clamps.
+	h.Observe(50 * time.Millisecond)
+	if got := h.Quantile(1); got != 50*time.Millisecond {
+		t.Fatalf("p100 = %v, want exact max 50ms", got)
+	}
+	if got := h.Quantile(2); got != 50*time.Millisecond {
+		t.Fatalf("q=2 should clamp to p100, got %v", got)
+	}
+	if got := h.Quantile(0); got < 7*time.Millisecond || got > 8*time.Millisecond {
+		t.Fatalf("p0 = %v, want ~7ms", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 500; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 1000*time.Millisecond {
+		t.Fatalf("merged min/max %v/%v", a.Min(), a.Max())
+	}
+	if m := a.Mean(); m < 499*time.Millisecond || m > 502*time.Millisecond {
+		t.Fatalf("merged mean %v", m)
+	}
+	if got := a.Quantile(0.99); got < 990*time.Millisecond || float64(got) > 990*1.07*float64(time.Millisecond) {
+		t.Fatalf("merged p99 %v", got)
+	}
+	// b is a pure source: unchanged.
+	if b.Count() != 500 || b.Min() != 501*time.Millisecond {
+		t.Fatalf("merge mutated source: n=%d min=%v", b.Count(), b.Min())
+	}
+	// Merging an empty histogram (or nil, or self) is a no-op.
+	before := a.Summary()
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	a.Merge(a)
+	if after := a.Summary(); after != before {
+		t.Fatalf("no-op merges changed summary: %+v -> %+v", before, after)
+	}
+	// Merge into an empty histogram adopts the source's min.
+	c := NewHistogram()
+	c.Merge(b)
+	if c.Min() != 501*time.Millisecond || c.Count() != 500 {
+		t.Fatalf("merge-into-empty: min=%v n=%d", c.Min(), c.Count())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(9 * time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left state: %+v", h.Summary())
+	}
+	// Usable again after reset, min included (the n==1 re-seed).
+	h.Observe(5 * time.Millisecond)
+	if h.Count() != 1 || h.Min() != 5*time.Millisecond {
+		t.Fatalf("post-reset observe: n=%d min=%v", h.Count(), h.Min())
+	}
+}
+
+func TestHistogramConcurrentObserveSnapshotMerge(t *testing.T) {
+	// The windowed recorder reads (Quantile/Summary/Merge) while load
+	// goroutines Observe and bucket rotation Resets; hammer all of it
+	// together so -race in CI covers every lock pairing.
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(rng.Intn(1_000_000)))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scratch := NewHistogram()
+		for i := 0; i < 200; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.Summary()
+			scratch.Merge(h)
+			if i%50 == 49 {
+				scratch.Reset()
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if h.Count() == 0 {
+		t.Fatal("no observations recorded")
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatalf("empty sum %v", h.Sum())
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if h.Sum() != 5*time.Millisecond {
+		t.Fatalf("sum %v, want 5ms", h.Sum())
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the handle returned by Serve: an HTTP listener publishing
+// one registry. Close it to release the port.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP endpoint for reg on addr (":0" picks a free
+// port; read it back with Addr). reg nil means the installed registry.
+// Routes:
+//
+//	GET /metrics       Prometheus text exposition format
+//	GET /metrics.json  expvar-style JSON (the Snapshot digest)
+//	GET /debug/pprof/  net/http/pprof profiles (heap, goroutine, cpu, ...)
+//
+// The endpoint is read-only and unauthenticated — bind it to loopback or
+// an operations network, exactly like expvar/pprof defaults.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Installed()
+	}
+	if reg == nil {
+		return nil, errors.New("obs: Serve with no registry (pass one, or obs.Install first)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	// net/http/pprof registers on http.DefaultServeMux from its init;
+	// wiring the handlers explicitly keeps this mux self-contained (and
+	// the default mux unused).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		_, _ = w.Write([]byte("repro telemetry\n\n/metrics\n/metrics.json\n/debug/pprof/\n"))
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down and frees the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Window is a windowed latency recorder: a ring of hist.Histogram
+// buckets, each covering one fixed time slice, rotated by wall clock.
+// Observations land in the bucket owning the current slice; reads merge
+// every bucket still inside the window into a scratch histogram and
+// answer from that. Quantile(0.99) is therefore the p99 of roughly the
+// last Span() of traffic — the signal admission control needs — rather
+// than the lifetime p99, which converges and stops responding to load
+// shifts.
+//
+// Observe is lock-free on the rotation check (one atomic epoch load; a
+// CAS only on the first observation of a new slice) plus the histogram's
+// own mutex-guarded bucket increment. Reads are control-plane: they
+// allocate a scratch histogram and take each bucket's lock briefly via
+// Merge.
+type Window struct {
+	bucketNs int64
+	buckets  []windowBucket
+}
+
+type windowBucket struct {
+	epoch atomic.Int64 // the slice index this bucket currently holds
+	h     *hist.Histogram
+}
+
+// Default window geometry: 15 buckets of 2s cover the last ~30s, fine
+// enough that a load shift moves the quantiles within a couple of
+// seconds, long enough that a CI-scale run (5–10s) is fully in window.
+const (
+	defaultWindowSpan    = 30 * time.Second
+	defaultWindowBuckets = 15
+)
+
+// NewWindow creates a recorder covering the last span of observations in
+// `buckets` rotating slices. span/buckets values of 0 (or negatives)
+// select the defaults. The observable window is (span-slice, span]: the
+// oldest in-window slice is complete, the newest is still filling.
+func NewWindow(span time.Duration, buckets int) *Window {
+	if span <= 0 {
+		span = defaultWindowSpan
+	}
+	if buckets <= 0 {
+		buckets = defaultWindowBuckets
+	}
+	w := &Window{
+		bucketNs: int64(span) / int64(buckets),
+		buckets:  make([]windowBucket, buckets),
+	}
+	if w.bucketNs <= 0 {
+		w.bucketNs = 1
+	}
+	for i := range w.buckets {
+		w.buckets[i].h = hist.NewHistogram()
+		w.buckets[i].epoch.Store(-1) // never observed
+	}
+	return w
+}
+
+// Span returns the window's nominal coverage.
+func (w *Window) Span() time.Duration {
+	return time.Duration(w.bucketNs * int64(len(w.buckets)))
+}
+
+// Observe records one duration into the current time slice's bucket,
+// resetting the bucket first if its slice has rotated out.
+func (w *Window) Observe(d time.Duration) {
+	epoch := time.Now().UnixNano() / w.bucketNs
+	b := &w.buckets[int(epoch%int64(len(w.buckets)))]
+	if e := b.epoch.Load(); e != epoch {
+		// First observation of this slice: the CAS winner resets the
+		// stale contents. A racing loser may slip its observation in
+		// before the winner's Reset (both serialize on the histogram's
+		// mutex), losing at most that one sample of the new slice —
+		// bounded, harmless, and only at rotation edges.
+		if b.epoch.CompareAndSwap(e, epoch) {
+			b.h.Reset()
+		}
+	}
+	b.h.Observe(d)
+}
+
+// merged folds every in-window bucket into a fresh scratch histogram.
+func (w *Window) merged() *hist.Histogram {
+	cur := time.Now().UnixNano() / w.bucketNs
+	oldest := cur - int64(len(w.buckets)) + 1
+	out := hist.NewHistogram()
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if e := b.epoch.Load(); e >= oldest && e <= cur {
+			out.Merge(b.h)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile of the observations inside the window
+// (0 when the window is empty).
+func (w *Window) Quantile(q float64) time.Duration {
+	return w.merged().Quantile(q)
+}
+
+// Count returns the number of observations inside the window.
+func (w *Window) Count() int64 {
+	return w.merged().Count()
+}
+
+// Summary digests the in-window observations (count, mean, p50/p90/p99,
+// max, in milliseconds).
+func (w *Window) Summary() hist.HistSummary {
+	return w.merged().Summary()
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// schedMetrics is the scheduler's resolved metric set, shared by every
+// Elastic instance in the process (the registry is process-wide; a
+// serving deployment runs one pool). Counters mirror the per-instance
+// SchedStats atomics where one exists; the deque-depth gauge mirrors
+// pending so a scrape sees backlog without reaching into an instance.
+// Same contract as core's set: nil pointer when observability is off,
+// one padded-atomic add per event when on.
+type schedMetrics struct {
+	steals  *obs.Counter
+	wakes   *obs.Counter
+	parks   *obs.Counter
+	unparks *obs.Counter
+	depth   *obs.Gauge // queued-but-unclaimed jobs across all deques
+}
+
+var schedMet atomic.Pointer[schedMetrics]
+
+func smet() *schedMetrics { return schedMet.Load() }
+
+func init() {
+	obs.OnInstall(func(reg *obs.Registry) {
+		if reg == nil {
+			schedMet.Store(nil)
+			return
+		}
+		schedMet.Store(&schedMetrics{
+			steals:  reg.Counter("sched_steals_total"),
+			wakes:   reg.Counter("sched_wakes_total"),
+			parks:   reg.Counter("sched_parks_total"),
+			unparks: reg.Counter("sched_unparks_total"),
+			depth:   reg.Gauge("sched_deque_depth"),
+		})
+	})
+}

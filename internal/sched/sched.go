@@ -170,6 +170,9 @@ func (w *worker) push(e *Elastic, f func(), try bool) bool {
 	w.tail++
 	e.pending.Add(1)
 	w.mu.Unlock()
+	if m := smet(); m != nil {
+		m.depth.Inc()
+	}
 	return true
 }
 
@@ -198,6 +201,9 @@ func (w *worker) pushBatch(e *Elastic, fs []func(), try bool) int {
 		e.pending.Add(int64(n))
 	}
 	w.mu.Unlock()
+	if m := smet(); m != nil && n > 0 {
+		m.depth.Add(int64(n))
+	}
 	return n
 }
 
@@ -214,6 +220,9 @@ func (w *worker) pop(e *Elastic) func() {
 	w.buf[w.tail&dequeMask] = nil
 	e.pending.Add(-1)
 	w.mu.Unlock()
+	if m := smet(); m != nil {
+		m.depth.Dec()
+	}
 	return f
 }
 
@@ -230,6 +239,9 @@ func (w *worker) stealFrom(e *Elastic) func() {
 	w.head++
 	e.pending.Add(-1)
 	w.mu.Unlock()
+	if m := smet(); m != nil {
+		m.depth.Dec()
+	}
 	return f
 }
 
@@ -311,6 +323,10 @@ func (e *Elastic) ExecuteBatch(fs []func()) {
 func (e *Elastic) wake(w *worker) {
 	e.searching.Add(1)
 	e.wakes.Add(1)
+	if m := smet(); m != nil {
+		m.wakes.Inc()
+		m.unparks.Inc()
+	}
 	w.wake <- struct{}{}
 }
 
@@ -404,6 +420,9 @@ func (e *Elastic) tryUnpark(w *worker) bool {
 			copy(e.parked[i:], e.parked[i+1:])
 			e.parked[len(e.parked)-1] = nil
 			e.parked = e.parked[:len(e.parked)-1]
+			if m := smet(); m != nil {
+				m.unparks.Inc()
+			}
 			return true
 		}
 	}
@@ -481,6 +500,9 @@ func (e *Elastic) findWork(w *worker) func() {
 		}
 		w.parkedAt = time.Now()
 		e.parked = append(e.parked, w)
+		if m := smet(); m != nil {
+			m.parks.Inc()
+		}
 		startCleaner := !e.cleanerOn
 		if startCleaner {
 			e.cleanerOn = true
@@ -527,6 +549,9 @@ func (e *Elastic) steal(w *worker) func() {
 		}
 		if f := v.stealFrom(e); f != nil {
 			e.steals.Add(1)
+			if m := smet(); m != nil {
+				m.steals.Inc()
+			}
 			return f
 		}
 	}
@@ -552,6 +577,9 @@ func (w *worker) drainOnExit(e *Elastic) {
 		return
 	}
 	e.pending.Add(-int64(len(leftover)))
+	if m := smet(); m != nil {
+		m.depth.Add(-int64(len(leftover)))
+	}
 	for _, f := range leftover {
 		go f()
 	}

@@ -89,8 +89,8 @@ func TestSubmitCtxCancelWhileQueued(t *testing.T) {
 	if !errors.As(queued.Err(), &ce) {
 		t.Fatalf("queued session error %v, want CanceledError", queued.Err())
 	}
-	if st := queued.Stats(); st.Tasks != 0 {
-		t.Fatalf("aborted-in-queue session ran %d tasks, want 0", st.Tasks)
+	if st, ok := queued.Stats(); !ok || st.Tasks != 0 {
+		t.Fatalf("aborted-in-queue session stats = %+v (ok=%v), want zero stats ready", st, ok)
 	}
 	close(gate)
 	if err := first.Wait(); err != nil {
@@ -222,8 +222,12 @@ func TestCancelMidFlightStealHeavyExactAccounting(t *testing.T) {
 		if s.Runtime() == nil {
 			continue // aborted in the queue: no runtime, no tasks
 		}
-		if dropped := s.Stats().EventsDropped; dropped != 0 {
-			t.Errorf("session %d: %d dropped trace events", i, dropped)
+		st, ok := s.Stats()
+		if !ok {
+			t.Fatalf("session %d: Stats not ready after Wait", i)
+		}
+		if st.EventsDropped != 0 {
+			t.Errorf("session %d: %d dropped trace events", i, st.EventsDropped)
 		}
 		// Exact tenant accounting: every task the session submitted to the
 		// shared scheduler ran and finished, steals notwithstanding.
@@ -231,8 +235,8 @@ func TestCancelMidFlightStealHeavyExactAccounting(t *testing.T) {
 		if inflight != 0 {
 			t.Errorf("session %d: %d tasks still in flight after Wait", i, inflight)
 		}
-		if submitted != s.Stats().Tasks {
-			t.Errorf("session %d: tenant submitted %d, runtime ran %d", i, submitted, s.Stats().Tasks)
+		if submitted != st.Tasks {
+			t.Errorf("session %d: tenant submitted %d, runtime ran %d", i, submitted, st.Tasks)
 		}
 		if err := s.Runtime().TraceClose(); err != nil {
 			t.Errorf("session %d: TraceClose: %v", i, err)

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// serveMetrics is the serving layer's resolved metric set. The counter
+// sites are all control-plane (admission decisions, session completion),
+// so unlike core/sched the cost argument here is about cardinality, not
+// nanoseconds: per-class verdict counters are pre-resolved from the vec
+// at install, and the per-tenant family is keyed by the CALLER-PROVIDED
+// session name (sessions submitted without a name share the "default"
+// tenant), so the label space is exactly the set of names the operator
+// chose — never one series per session.
+type serveMetrics struct {
+	submitted     *obs.Counter
+	rejected      *obs.Counter
+	inflight      *obs.Gauge
+	eventsDropped *obs.Counter
+	verdicts      [verdictCount]*obs.Counter
+	tenantVerdict *obs.CounterVec // labels: tenant, verdict
+}
+
+var serveMet atomic.Pointer[serveMetrics]
+
+func pmet() *serveMetrics { return serveMet.Load() }
+
+func init() {
+	obs.OnInstall(func(reg *obs.Registry) {
+		if reg == nil {
+			serveMet.Store(nil)
+			return
+		}
+		m := &serveMetrics{
+			submitted:     reg.Counter("serve_sessions_submitted_total"),
+			rejected:      reg.Counter("serve_sessions_rejected_total"),
+			inflight:      reg.Gauge("serve_sessions_inflight"),
+			eventsDropped: reg.Counter("serve_events_dropped_total"),
+			tenantVerdict: reg.CounterVec("serve_tenant_verdicts_total", "tenant", "verdict"),
+		}
+		vec := reg.CounterVec("serve_verdicts_total", "class")
+		for v := Verdict(0); v < verdictCount; v++ {
+			m.verdicts[v] = vec.With(v.String())
+		}
+		serveMet.Store(m)
+	})
+}
+
+// countVerdict records a completed session's outcome, by class and by
+// tenant.
+func (m *serveMetrics) countVerdict(tenant string, v Verdict) {
+	m.verdicts[v].Inc()
+	m.tenantVerdict.With(tenant, v.String()).Inc()
+}

@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -98,6 +100,15 @@ type Pool struct {
 	verdicts [verdictCount]atomic.Int64
 	tasksRun atomic.Int64
 	dropped  atomic.Int64
+
+	// Windowed latency recorders behind Pool.Observe: queue wait
+	// (admission latency) and execution time of recently completed
+	// sessions. Always present — Observe works with no registry
+	// installed — but when one IS installed at NewPool time the windows
+	// are the registry's named recorders, so the scrape endpoint and
+	// Observe read the same buckets.
+	queueWait *obs.Window
+	execLat   *obs.Window
 }
 
 // NewPool creates a serving pool with its own shared scheduler.
@@ -108,12 +119,22 @@ func NewPool(cfg Config) *Pool {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
-	return &Pool{
+	p := &Pool{
 		cfg:     cfg,
 		exec:    sched.NewElastic(cfg.IdleTimeout),
 		slots:   make(chan struct{}, cfg.MaxSessions),
 		closeCh: make(chan struct{}),
 	}
+	if reg := obs.Installed(); reg != nil {
+		// Geometry args are only honored by the first creator; a second
+		// pool shares the registered recorders.
+		p.queueWait = reg.Window("serve_queue_wait_seconds", 0, 0)
+		p.execLat = reg.Window("serve_exec_latency_seconds", 0, 0)
+	} else {
+		p.queueWait = obs.NewWindow(0, 0)
+		p.execLat = obs.NewWindow(0, 0)
+	}
+	return p
 }
 
 // Submit starts (or queues) one session running main and returns its
@@ -138,13 +159,13 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 	}
 	if ctx.Err() != nil {
 		// Dead on arrival: fail synchronously, like a closed pool.
-		p.rejected.Add(1)
+		p.reject()
 		return nil, context.Cause(ctx)
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		p.rejected.Add(1)
+		p.reject()
 		return nil, ErrPoolClosed
 	}
 	queued := false
@@ -153,7 +174,7 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 	default:
 		if p.waiting >= p.cfg.QueueDepth {
 			p.mu.Unlock()
-			p.rejected.Add(1)
+			p.reject()
 			return nil, ErrPoolSaturated
 		}
 		p.waiting++
@@ -163,6 +184,12 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 	p.mu.Unlock()
 
 	id := p.nextID.Add(1)
+	// The metrics tenant label is the caller-provided name only:
+	// generated per-session names would mint one series per session.
+	tenantLabel := name
+	if tenantLabel == "" {
+		tenantLabel = "default"
+	}
 	if name == "" {
 		name = fmt.Sprintf("session-%d", id)
 	}
@@ -171,6 +198,7 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 		pool:     p,
 		id:       id,
 		name:     name,
+		tlabel:   tenantLabel,
 		ctx:      ctx,
 		tenant:   tenant,
 		queuedAt: time.Now(),
@@ -180,8 +208,20 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 			core.WithBatchExecutor(tenant.ExecuteBatch)),
 	}
 	p.submitted.Add(1)
+	if m := pmet(); m != nil {
+		m.submitted.Inc()
+	}
 	go p.runSession(s, main, queued)
 	return s, nil
+}
+
+// reject accounts a synchronous Submit rejection (dead ctx, closed,
+// saturated).
+func (p *Pool) reject() {
+	p.rejected.Add(1)
+	if m := pmet(); m != nil {
+		m.rejected.Inc()
+	}
 }
 
 // runSession is the session's supervising goroutine: acquire a slot if the
@@ -232,7 +272,11 @@ func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 			break
 		}
 	}
+	if m := pmet(); m != nil {
+		m.inflight.Inc()
+	}
 	s.startedAt = time.Now()
+	p.queueWait.Observe(s.startedAt.Sub(s.queuedAt))
 	rt := core.NewRuntime(s.runtimeOpts...)
 	s.rt = rt
 	// RunContext waits for the session's task tree to unwind even after a
@@ -244,12 +288,20 @@ func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 	s.err = err
 	s.verdict = Classify(err)
 	s.stats = rt.Stats()
+	p.execLat.Observe(s.finishedAt.Sub(s.startedAt))
 
 	p.inflight.Add(-1)
 	p.completed.Add(1)
 	p.verdicts[s.verdict].Add(1)
 	p.tasksRun.Add(s.stats.Tasks)
 	p.dropped.Add(s.stats.EventsDropped)
+	if m := pmet(); m != nil {
+		m.inflight.Dec()
+		m.countVerdict(s.tlabel, s.verdict)
+		if s.stats.EventsDropped > 0 {
+			m.eventsDropped.Add(s.stats.EventsDropped)
+		}
+	}
 	// Release the slot BEFORE signalling completion: a caller that Waits
 	// and immediately Submits must find the slot free, not race this
 	// goroutine for it and get a spurious ErrPoolSaturated. The inflight
@@ -270,6 +322,9 @@ func (p *Pool) finishUnrun(s *Session, err error) {
 	s.verdict = VerdictCanceled
 	p.completed.Add(1)
 	p.verdicts[VerdictCanceled].Add(1)
+	if m := pmet(); m != nil {
+		m.countVerdict(s.tlabel, VerdictCanceled)
+	}
 	close(s.done)
 }
 
@@ -293,6 +348,29 @@ func (p *Pool) Close() {
 // Executor exposes the shared scheduler, for monitoring (Stats/Workers/
 // Idle). Submitting work to it directly bypasses session accounting.
 func (p *Pool) Executor() *sched.Elastic { return p.exec }
+
+// Observation is the pool's live windowed latency digest: queue-wait and
+// execution-time summaries (milliseconds) over roughly the last Span of
+// completed sessions. Unlike the lifetime PoolStats counters this
+// answers "what are p50/p99 RIGHT NOW" — the signal deadline-aware
+// admission control consumes.
+type Observation struct {
+	Span      time.Duration    `json:"span_ns"`
+	QueueWait hist.HistSummary `json:"queue_wait"`
+	Exec      hist.HistSummary `json:"exec"`
+}
+
+// Observe digests the pool's windowed latency recorders. Usable live,
+// with or without a metrics registry installed; reads are control-plane
+// cost (a scratch histogram merge), so poll it per admission decision or
+// per scrape, not per task.
+func (p *Pool) Observe() Observation {
+	return Observation{
+		Span:      p.execLat.Span(),
+		QueueWait: p.queueWait.Summary(),
+		Exec:      p.execLat.Summary(),
+	}
+}
 
 // PoolStats is a snapshot of the pool's aggregate accounting.
 type PoolStats struct {

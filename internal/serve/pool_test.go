@@ -103,10 +103,14 @@ func TestPoolMixedSessionsIsolationAndDrain(t *testing.T) {
 				t.Errorf("session %s: no DeadlockError in %v", s.Name(), err)
 			}
 		}
-		if dropped := s.Stats().EventsDropped; dropped != 0 {
-			t.Errorf("session %s: %d dropped trace events", s.Name(), dropped)
+		st, ok := s.Stats()
+		if !ok {
+			t.Fatalf("session %s: Stats not ready after Wait", s.Name())
 		}
-		if s.Stats().Tasks == 0 {
+		if st.EventsDropped != 0 {
+			t.Errorf("session %s: %d dropped trace events", s.Name(), st.EventsDropped)
+		}
+		if st.Tasks == 0 {
 			t.Errorf("session %s: no tasks recorded", s.Name())
 		}
 		// Deterministically stop the session's trace collector so the

@@ -86,9 +86,10 @@ func Classify(err error) Verdict {
 // before the program runs; Wait blocks until it has finished. All other
 // accessors are valid only after Wait (or a receive from Done) returns.
 type Session struct {
-	pool *Pool
-	id   uint64
-	name string
+	pool   *Pool
+	id     uint64
+	name   string
+	tlabel string // metrics tenant label: caller-provided name, or "default"
 
 	// ctx is the session's cancellation scope, covering both the
 	// admission-queue wait and the execution (Runtime.RunContext).
@@ -136,10 +137,21 @@ func (s *Session) Verdict() Verdict {
 	return s.verdict
 }
 
-// Stats returns the session runtime's counters. Valid after Wait/Done.
-func (s *Session) Stats() core.Stats {
-	<-s.done
-	return s.stats
+// Stats returns the session runtime's final counters. ok is true only
+// once the session has finished; before that it returns a zero Stats
+// and false WITHOUT blocking. (The historical signature blocked on the
+// session's done channel, so a "quick peek" at a session that had not
+// completed — or never would — hung the caller; and returning the live
+// struct instead would race the supervisor's final stats write. The
+// guarded snapshot is both prompt and race-free: the done-channel
+// receive orders this read after runSession's write.)
+func (s *Session) Stats() (core.Stats, bool) {
+	select {
+	case <-s.done:
+		return s.stats, true
+	default:
+		return core.Stats{}, false
+	}
 }
 
 // Runtime returns the session's runtime — e.g. to read its event log or
@@ -153,7 +165,11 @@ func (s *Session) Runtime() *core.Runtime {
 // sched.Tenant): tasks submitted to the pool in total and tasks currently
 // submitted-but-unfinished. Usable live — this is the per-session view a
 // server dashboards while the session runs; after Wait/Done inflight
-// trends to zero.
+// trends to zero. Unlike the pre-completion Stats footgun, a live read
+// here is safe by construction: both figures are single atomic counters
+// on the tenant, not a struct snapshot racing the supervisor's final
+// write — though a mid-run read is, necessarily, already stale when it
+// returns.
 func (s *Session) SchedStats() (submitted, inflight int64) {
 	return s.tenant.Stats()
 }

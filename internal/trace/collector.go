@@ -104,7 +104,13 @@ func (c *Collector) Emit(e Event) {
 		// quiesce before Close — is what rules that out; these checks
 		// only turn the common misuses into counted drops.
 		c.dropped.Add(1)
+		if m := tmet(); m != nil {
+			m.drops.Inc()
+		}
 		return
+	}
+	if m := tmet(); m != nil {
+		m.emitted.Inc()
 	}
 	e.Seq = c.seq.Add(1)
 	sh := &c.shards[e.TaskID&c.mask]
@@ -153,7 +159,14 @@ func (c *Collector) EmitStamped(evs []Event) {
 	}
 	if c.shutdown.Load() {
 		c.dropped.Add(uint64(len(evs)))
+		if m := tmet(); m != nil {
+			m.drops.Add(int64(len(evs)))
+		}
 		return
+	}
+	if m := tmet(); m != nil {
+		m.emitted.Add(int64(len(evs)))
+		m.flushes.Inc()
 	}
 	// Direct path: a staged batch is already in ascending Seq order, so
 	// when the delivery lock is free it can go straight to the sinks —
@@ -242,6 +255,9 @@ func (c *Collector) countDropped(ch *chunk) {
 	}
 	c.dropped.Add(n)
 	c.gap.Add(n)
+	if m := tmet(); m != nil {
+		m.drops.Add(int64(n))
+	}
 }
 
 // loop is the background collector: it drains retired chunks whenever a
@@ -332,6 +348,9 @@ func (c *Collector) writeLocked(batch []Event) {
 		// The sinks are gone; a batch surfacing now (a straggler chunk
 		// drained by a late Flush) is lost — but counted, never silent.
 		c.dropped.Add(uint64(len(batch)))
+		if m := tmet(); m != nil {
+			m.drops.Add(int64(len(batch)))
+		}
 		return
 	}
 	SortBySeq(batch)
