@@ -41,6 +41,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/front"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -199,23 +200,37 @@ var (
 )
 
 // Serving-layer surface (see internal/serve): many concurrent, isolated
-// runtime sessions over one shared elastic scheduler, with admission
-// control in front and per-session verdicts behind. cmd/loadgen is the
-// mixed-scenario driver built on it.
+// runtime sessions over one shared elastic scheduler, with QoS-aware
+// admission control in front (deadline shedding, weighted-fair tenants)
+// and per-session verdicts behind. cmd/loadgen is the mixed-scenario
+// driver built on it, and internal/front (cmd/frontd) serves the same
+// pool over framed TCP to remote clients.
 type (
 	// Pool runs many isolated sessions on one shared scheduler.
 	Pool = serve.Pool
-	// PoolConfig configures a Pool (admission limits, base options).
+	// PoolConfig is the resolved configuration of a Pool; NewServePool
+	// with ServeOption values is the functional-options form.
 	PoolConfig = serve.Config
+	// ServeOption configures serving behaviour, at pool scope
+	// (NewServePool) or submit scope (Pool.Submit) — one option family,
+	// documented precedence: defaults < pool < submit.
+	ServeOption = serve.Option
 	// PoolStats is the pool's aggregate accounting snapshot.
 	PoolStats = serve.PoolStats
 	// PoolObservation is Pool.Observe's windowed latency digest: recent
-	// (not lifetime) queue-wait and execution-time quantiles.
+	// (not lifetime) queue-wait and execution-time quantiles — the signal
+	// deadline-aware admission consumes.
 	PoolObservation = serve.Observation
-	// Session is one submitted program's handle.
+	// Session is one submitted program's local handle.
 	Session = serve.Session
+	// SessionHandle is the transport-neutral session view implemented by
+	// both *Session and the network client's remote sessions.
+	SessionHandle = serve.SessionHandle
 	// Verdict classifies how a session ended.
 	Verdict = serve.Verdict
+	// DeadlineInfeasibleError is the typed rejection carrying the
+	// admission math behind a deadline shed.
+	DeadlineInfeasibleError = serve.DeadlineInfeasibleError
 )
 
 // Session verdicts.
@@ -234,14 +249,75 @@ const (
 )
 
 var (
-	// NewPool creates a serving pool with its own shared scheduler.
+	// NewPool creates a serving pool from a resolved PoolConfig.
 	NewPool = serve.NewPool
+	// NewServePool creates a serving pool from ServeOption values (the
+	// functional-options constructor; same pool as NewPool).
+	NewServePool = serve.New
 	// ClassifyVerdict maps a run error to its Verdict.
 	ClassifyVerdict = serve.Classify
 	// ErrPoolSaturated rejects a Submit beyond the admission limits.
 	ErrPoolSaturated = serve.ErrPoolSaturated
 	// ErrPoolClosed rejects a Submit after Pool.Close.
 	ErrPoolClosed = serve.ErrPoolClosed
+	// ErrDeadlineInfeasible rejects a Submit whose ctx deadline cannot be
+	// met per the pool's observed latency windows (deadline-aware
+	// admission; errors.Is-matchable sentinel).
+	ErrDeadlineInfeasible = serve.ErrDeadlineInfeasible
+
+	// Serving options (ServeOption), pool scope unless noted.
+
+	// WithMaxSessions bounds concurrently running sessions.
+	WithMaxSessions = serve.WithMaxSessions
+	// WithQueueDepth bounds waiting sessions PER TENANT.
+	WithQueueDepth = serve.WithQueueDepth
+	// WithIdleTimeout sets the shared scheduler's worker idle timeout.
+	WithIdleTimeout = serve.WithIdleTimeout
+	// WithTenantWeight sets a tenant's weighted-fair admission share.
+	WithTenantWeight = serve.WithTenantWeight
+	// WithRuntime appends core options to session runtimes (both scopes;
+	// submit-scope options land after the pool's and win).
+	WithRuntime = serve.WithRuntime
+	// WithTenant names the fairness tenant (both scopes; submit wins).
+	WithTenant = serve.WithTenant
+	// WithDeadlineAdmission toggles deadline-aware admission (both
+	// scopes; submit wins).
+	WithDeadlineAdmission = serve.WithDeadlineAdmission
+)
+
+// Network front-end surface (see internal/front): the framed-TCP
+// client/server protocol over the serving pool — remote session
+// submission by registered workload name, per-tenant API keys mapped
+// onto weighted-fair tenants, deadline-aware admission at the listener,
+// streamed verdicts, and graceful drain (Front.Shutdown). cmd/frontd is
+// the server binary; FrontClient the Go client.
+type (
+	// Front is the TCP serving front-end; New binds and serves.
+	Front = front.Front
+	// FrontConfig configures a Front: address, API-key map, workload
+	// registry, and the pool's ServeOption list.
+	FrontConfig = front.Config
+	// FrontRegistry maps wire workload names to session programs.
+	FrontRegistry = front.Registry
+	// FrontClient is the Go client for a Front (one TCP connection).
+	FrontClient = front.Client
+	// SubmitRequest describes one remote session submission.
+	SubmitRequest = front.SubmitRequest
+	// RemoteSession is an accepted remote session: the SessionHandle
+	// implementation whose verdict arrives over the wire.
+	RemoteSession = front.RemoteSession
+	// RemoteError is a session error reconstructed from the wire.
+	RemoteError = front.RemoteError
+)
+
+var (
+	// NewFront binds a Front's listener and starts serving.
+	NewFront = front.New
+	// DialFront connects and authenticates a FrontClient.
+	DialFront = front.Dial
+	// DefaultFrontRegistry is the standard workload registry (the
+	// benchmark table plus the Listing 1 "Deadlock" probe).
+	DefaultFrontRegistry = front.DefaultRegistry
 )
 
 // Observability surface (see internal/obs): a process-wide metrics
@@ -272,11 +348,16 @@ var (
 	ServeMetrics = obs.Serve
 )
 
-// ErrTimeout is returned by Runtime.RunWithTimeout on a hang, and is the
-// cancellation cause RunWithTimeout's deadline context carries.
+// ErrTimeout is the conventional cancellation cause for a whole-run
+// deadline: pass it to context.WithTimeoutCause and run under
+// Runtime.RunDetached to reproduce the historical run-with-timeout
+// contract (abandon the frozen hang, report this sentinel).
 var ErrTimeout = core.ErrTimeout
 
-// ErrAwaitTimeout is returned by Promise.GetTimeout at its deadline.
+// ErrAwaitTimeout is the conventional cancellation cause for a single
+// timed wait: pass it to context.WithTimeoutCause and wait with
+// Promise.GetContext; the deadline then reports a CanceledError whose
+// cause errors.Is-matches this sentinel.
 var ErrAwaitTimeout = core.ErrAwaitTimeout
 
 // NewPromise allocates a promise owned by t (rule 1 of the policy).

@@ -154,10 +154,14 @@ func TestFacadeGroupAndMovable(t *testing.T) {
 	}
 }
 
-func TestFacadeRunWithTimeout(t *testing.T) {
+func TestFacadeRunDetachedDeadline(t *testing.T) {
+	// The context-first spelling of the old run-with-timeout contract: a
+	// deadline ctx carrying ErrTimeout as its cause, RunDetached so the
+	// hang is abandoned (frozen), not cancelled.
 	rt := repro.NewRuntime(repro.WithMode(repro.Unverified))
-	//lint:ignore SA1019 the deprecated shim's contract is exactly what this test pins
-	err := rt.RunWithTimeout(100*time.Millisecond, func(tk *repro.Task) error {
+	ctx, cancel := context.WithTimeoutCause(context.Background(), 100*time.Millisecond, repro.ErrTimeout)
+	defer cancel()
+	err := rt.RunDetached(ctx, func(tk *repro.Task) error {
 		p := repro.NewPromise[int](tk)
 		_, e := p.Get(tk)
 		return e

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,12 +37,12 @@ import (
 
 // runFrozen runs main with a demo deadline, abandoning — NOT cancelling —
 // the task tree if it hangs: the blocked tasks stay frozen so -dot can
-// snapshot the stuck state. One implementation exists — the deprecated
-// shim, itself a RunDetached wrapper whose deadline cause is ErrTimeout,
-// so report() classifies hangs as before.
+// snapshot the stuck state. RunDetached under a deadline ctx whose cause
+// is ErrTimeout, so report() classifies hangs as before.
 func runFrozen(rt *core.Runtime, d time.Duration, main core.TaskFunc) error {
-	//lint:ignore SA1019 the demos deliberately keep the shim's freeze-the-hang contract
-	return rt.RunWithTimeout(d, main)
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d, core.ErrTimeout)
+	defer cancel()
+	return rt.RunDetached(ctx, main)
 }
 
 func main() {

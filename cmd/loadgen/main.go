@@ -9,11 +9,22 @@
 //	loadgen [-sessions N] [-queue N] [-drivers N] [-d duration] [-mix all|spec]
 //	        [-scale small|default|paper] [-mode full|ownership|unverified]
 //	        [-detector lockfree|globallock] [-inject frac] [-deadline spec]
+//	        [-open rate [-front addr] [-tenants spec] [-shape s] [-fairness tol]]
 //	        [-seed N] [-json file] [-metrics addr] [-metrics-out file] [-v]
 //
 // -drivers sets the closed-loop submitter count; the default,
 // sessions+queue, keeps both admission tiers full without rejections,
 // while a larger value drives the ErrPoolSaturated path as well.
+//
+// -open RATE switches to open-loop driving through the TCP front-end
+// (internal/front): Poisson arrivals at RATE/s, optionally shaped by
+// -shape bursty|diurnal, submitted over real client connections — one
+// per -tenants entry — to a front self-hosted on a loopback port (or
+// an external frontd via -front). Open-loop is the honest overload
+// mode: arrivals do not slow down with the server, so admission
+// control (deadline sheds, saturation rejects) and the weighted-fair
+// dequeue across tenants are actually exercised; see open.go for the
+// failure conditions the mode enforces.
 //
 // -mix selects the scenario mix: "all" is every registry benchmark with
 // equal weight; otherwise a comma-separated list of names, each optionally
@@ -246,9 +257,11 @@ type serveReport struct {
 	Observe serve.Observation `json:"observe"`
 }
 
-// writeJSON writes rep to path; when path holds an existing JSON object
-// (e.g. BENCH_table1.json) the report is merged in as its "serve" member.
-func writeJSON(path string, rep serveReport) error {
+// writeJSONSection writes rep to path under the given key; when path
+// holds an existing JSON object (e.g. BENCH_table1.json) the report is
+// merged in as that member — the serve/front rows then travel with the
+// Table-1 baseline across PRs.
+func writeJSONSection(path, key string, rep any) error {
 	doc := map[string]json.RawMessage{}
 	if prev, err := os.ReadFile(path); err == nil {
 		if json.Unmarshal(prev, &doc) != nil {
@@ -259,12 +272,7 @@ func writeJSON(path string, rep serveReport) error {
 	if err != nil {
 		return err
 	}
-	if len(doc) == 0 {
-		// Fresh file: just the serve section, still under its key so the
-		// schema matches the merged form.
-		doc = map[string]json.RawMessage{}
-	}
-	doc["serve"] = raw
+	doc[key] = raw
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -283,6 +291,13 @@ func main() {
 	detector := flag.String("detector", "lockfree", "detector in full mode: lockfree, globallock")
 	inject := flag.Float64("inject", 0, "probability in [0,1) of swapping a draw for the Deadlock scenario")
 	deadlineSpec := flag.String("deadline", "", `per-session deadline mix: "DUR[:weight],..." ("5ms:1,none:9"; "none"/"0" = no deadline)`)
+	open := flag.Float64("open", 0, "open-loop mode: aggregate arrival rate per second through a TCP front (0 = closed-loop)")
+	frontAddr := flag.String("front", "", "open-loop: external frontd address (empty = self-host on 127.0.0.1:0)")
+	tenantsSpec := flag.String("tenants", "default:1", `open-loop: tenant set with weighted-fair shares ("gold:3,bronze:1"); key "<tenant>-key" authenticates each`)
+	shape := flag.String("shape", "steady", "open-loop arrival shape: steady, bursty (square wave), diurnal (sinusoid)")
+	shapePeriod := flag.Duration("shape-period", 2*time.Second, "period of the bursty/diurnal arrival shapes")
+	fairness := flag.Float64("fairness", 0, "open-loop: fail unless per-tenant completed/share stays within this fraction of the mean (0 = no check)")
+	admission := flag.Bool("admission", true, "open-loop: deadline-aware admission on the self-hosted front")
 	seed := flag.Int64("seed", 1, "mix-draw RNG seed")
 	jsonOut := flag.String("json", "", `write/merge the report as JSON ("serve" section of a benchtable file)`)
 	metricsAddr := flag.String("metrics", "", `serve /metrics (Prometheus text), /metrics.json and /debug/pprof on this address during the run (e.g. "127.0.0.1:9100")`)
@@ -376,6 +391,37 @@ func main() {
 		}
 		metricsSrv = srv
 		fmt.Fprintf(os.Stderr, "loadgen: metrics on http://%s/metrics (also /metrics.json, /debug/pprof)\n", srv.Addr())
+	}
+
+	if *open > 0 {
+		tenants, err := parseTenants(*tenantsSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		code := runOpen(openConfig{
+			rate: *open, shape: *shape, shapePeriod: *shapePeriod,
+			frontAddr: *frontAddr, tenants: tenants,
+			sessions: *sessions, queue: *queue, dur: *dur,
+			scale: *scaleFlag, mode: *modeFlag, mix: *mix, inject: *inject,
+			deadlineStr: *deadlineSpec, admission: *admission,
+			seed: *seed, jsonOut: *jsonOut, verbose: *verbose,
+		}, scenarios, injected, totalWeight, deadlines, deadlineWeight, opts, *fairness)
+		if *metricsOut != "" {
+			buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err == nil {
+				err = os.WriteFile(*metricsOut, append(buf, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: metrics snapshot written to %s\n", *metricsOut)
+		}
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+		os.Exit(code)
 	}
 
 	goroutinesBefore := runtime.NumGoroutine()
@@ -561,7 +607,7 @@ func main() {
 			Pool:        ps,
 			Observe:     observation,
 		}
-		if err := writeJSON(*jsonOut, rep); err != nil {
+		if err := writeJSONSection(*jsonOut, "serve", rep); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}

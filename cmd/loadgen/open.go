@@ -1,0 +1,533 @@
+package main
+
+// Open-loop front-end driving (-open RATE): instead of closed-loop
+// drivers that wait for each session before submitting the next, an
+// arrival process fires submissions at the network front-end at a
+// configured aggregate rate, independent of how fast the server keeps
+// up — the only mode that exercises overload honestly, since a
+// closed-loop driver slows down with the server and can never push it
+// past capacity. Arrivals are Poisson (exponential inter-arrival); the
+// -shape flag modulates the instantaneous rate (steady, bursty square
+// wave, diurnal sinusoid) over -shape-period.
+//
+// Traffic goes through a real TCP front (internal/front): self-hosted
+// on a loopback ephemeral port unless -front points at an external
+// frontd. -tenants declares the tenant set with weighted-fair shares;
+// each tenant gets its own API key and client connection, and arrivals
+// split evenly across tenants so a backlogged run measures the
+// weighted-fair dequeue directly: completed throughput must track the
+// weights. -fairness TOL turns that into a hard check.
+//
+// The run fails (exit 1) on any of: a false verdict (an accepted
+// session classifying as anything but its scenario's expectation, or
+// canceled without a deadline), an admission misclassification (a
+// "deadline" rejection for a request that carried no deadline), a
+// weighted-fairness violation beyond TOL, dropped trace events, or
+// goroutines leaked after the self-hosted front's graceful Shutdown.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/front"
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+// tenantSpec is one entry of the -tenants flag: a fairness tenant with
+// its weighted-fair share.
+type tenantSpec struct {
+	name   string
+	weight int
+}
+
+// parseTenants parses "name[:weight],..." ("gold:3,bronze:1").
+func parseTenants(spec string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad tenant weight in %q", part)
+			}
+			weight = w
+		}
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("bad tenant spec %q", part)
+		}
+		seen[name] = true
+		out = append(out, tenantSpec{name: name, weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty tenant spec %q", spec)
+	}
+	return out, nil
+}
+
+// rateAt returns the instantaneous arrival rate at elapsed time t for
+// the given shape. Every shape averages to the base rate over a full
+// period, so the offered load is comparable across shapes.
+func rateAt(base float64, shape string, period time.Duration, t time.Duration) float64 {
+	if period <= 0 {
+		return base
+	}
+	frac := float64(t%period) / float64(period)
+	switch shape {
+	case "bursty":
+		// Square wave: 1.8x for the first half-period, 0.2x for the rest.
+		if frac < 0.5 {
+			return base * 1.8
+		}
+		return base * 0.2
+	case "diurnal":
+		// Sinusoid between 0.2x and 1.8x.
+		return base * (1 + 0.8*math.Sin(2*math.Pi*frac))
+	default: // steady
+		return base
+	}
+}
+
+// tenantStat accumulates one tenant's traffic over the run.
+type tenantStat struct {
+	offered   int64
+	accepted  int64
+	completed int64
+	rejected  map[string]int64
+}
+
+// tenantReport is the per-tenant row of the JSON report.
+type tenantReport struct {
+	Name         string           `json:"name"`
+	Weight       int              `json:"weight"`
+	Offered      int64            `json:"offered"`
+	Accepted     int64            `json:"accepted"`
+	Completed    int64            `json:"completed"`
+	CompletedPS  float64          `json:"completed_per_sec"`
+	Rejected     map[string]int64 `json:"rejected,omitempty"`
+	NormPerShare float64          `json:"completed_per_share"`
+}
+
+// frontReport is the "front" section written to the JSON output.
+type frontReport struct {
+	GeneratedAt   string             `json:"generated_at"`
+	Rate          float64            `json:"rate"`
+	Shape         string             `json:"shape"`
+	Duration      string             `json:"duration"`
+	Scale         string             `json:"scale"`
+	Mode          string             `json:"mode"`
+	Mix           string             `json:"mix"`
+	Inject        float64            `json:"inject"`
+	Deadline      string             `json:"deadline,omitempty"`
+	SelfHosted    bool               `json:"self_hosted"`
+	Tenants       []tenantReport     `json:"tenants"`
+	Scenarios     []scenarioReport   `json:"scenarios"`
+	Total         scenarioReport     `json:"total"`
+	RejectReasons map[string]int64   `json:"reject_reasons"`
+	Misclassified int64              `json:"misclassified"`
+	FairnessTol   float64            `json:"fairness_tol,omitempty"`
+	FairnessOK    *bool              `json:"fairness_ok,omitempty"`
+	Leaked        int                `json:"leaked_goroutines"`
+	Pool          *serve.PoolStats   `json:"pool,omitempty"`
+	Observe       *serve.Observation `json:"observe,omitempty"`
+}
+
+// openConfig carries the parsed flag state into the open-loop run.
+type openConfig struct {
+	rate        float64
+	shape       string
+	shapePeriod time.Duration
+	frontAddr   string // external front; empty self-hosts
+	tenants     []tenantSpec
+	sessions    int
+	queue       int
+	dur         time.Duration
+	scale       string
+	mode        string
+	mix         string
+	inject      float64
+	deadlineStr string
+	admission   bool
+	seed        int64
+	jsonOut     string
+	verbose     bool
+}
+
+// rejectReason classifies a Submit error the way the server's
+// front_rejected_total counter does, via the shared sentinels.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, serve.ErrDeadlineInfeasible):
+		return front.RejectDeadline
+	case errors.Is(err, serve.ErrPoolSaturated):
+		return front.RejectSaturated
+	case errors.Is(err, serve.ErrPoolClosed):
+		return front.RejectDraining
+	default:
+		return "other"
+	}
+}
+
+// runOpen drives the open-loop mode end to end and returns the process
+// exit code.
+func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeight int,
+	deadlines []deadlineClass, deadlineWeight int, rtOpts []core.Option, fairnessTol float64) int {
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// Self-host the front unless -front names an external one. The
+	// self-hosted pool gets the shared options surface: sizing, the
+	// tenant weights from -tenants, deadline admission, runtime mode.
+	var f *front.Front
+	addr := cfg.frontAddr
+	if addr == "" {
+		keys := map[string]string{}
+		sopts := []serve.Option{
+			serve.WithMaxSessions(cfg.sessions),
+			serve.WithQueueDepth(cfg.queue),
+			serve.WithRuntime(rtOpts...),
+			serve.WithDeadlineAdmission(cfg.admission),
+		}
+		for _, ts := range cfg.tenants {
+			keys[ts.name+"-key"] = ts.name
+			sopts = append(sopts, serve.WithTenantWeight(ts.name, ts.weight))
+		}
+		var err error
+		f, err = front.New(front.Config{Addr: "127.0.0.1:0", Keys: keys, Serve: sopts})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: front: %v\n", err)
+			return 1
+		}
+		addr = f.Addr()
+	}
+
+	clients := make([]*front.Client, len(cfg.tenants))
+	for i, ts := range cfg.tenants {
+		c, err := front.Dial(addr, ts.name+"-key")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: dial %s as %s: %v\n", addr, ts.name, err)
+			return 1
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: open-loop %.0f/s (%s/%v) -> %s, tenants %s, mix %q, %v, scale=%s mode=%s admission=%v deadline=%q\n",
+		cfg.rate, cfg.shape, cfg.shapePeriod, addr, cfg.tenantsString(), cfg.mix, cfg.dur, cfg.scale, cfg.mode, cfg.admission, cfg.deadlineStr)
+
+	stats := map[string]*scenarioStat{}
+	for _, sc := range scenarios {
+		stats[sc.name] = &scenarioStat{hist: harness.NewHistogram()}
+	}
+	if cfg.inject > 0 {
+		stats[injected.name] = &scenarioStat{hist: harness.NewHistogram()}
+	}
+	tstats := make([]*tenantStat, len(cfg.tenants))
+	for i := range tstats {
+		tstats[i] = &tenantStat{rejected: map[string]int64{}}
+	}
+	var mu sync.Mutex
+	total := harness.NewHistogram()
+	rejectReasons := map[string]int64{}
+	var misclassified, falseVerdicts, completed int64
+
+	// The arrival process: exponential inter-arrival at the (possibly
+	// shape-modulated) rate; each arrival draws a tenant uniformly — the
+	// offered load is equal per tenant, so under backlog the COMPLETED
+	// ratio is the weighted-fair dequeue's doing, nothing else's.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	start := time.Now()
+	var wg sync.WaitGroup
+	// Arrival times are generated on an absolute schedule (next is the
+	// elapsed-time offset of the next arrival) and the loop sleeps until
+	// each one comes due: sleep and dispatch overhead then eat into the
+	// gaps instead of stretching them, so the offered rate actually IS
+	// the configured rate — the defining property of an open loop.
+	for next := time.Duration(0); ; {
+		r := rateAt(cfg.rate, cfg.shape, cfg.shapePeriod, next)
+		if r <= 0 {
+			r = cfg.rate * 0.01
+		}
+		next += time.Duration(rng.ExpFloat64() / r * float64(time.Second))
+		if next >= cfg.dur {
+			break
+		}
+		if d := next - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		ti := rng.Intn(len(cfg.tenants))
+		sc := scenarios[0]
+		if cfg.inject > 0 && rng.Float64() < cfg.inject {
+			sc = injected
+		} else {
+			w := rng.Intn(totalWeight)
+			for _, cand := range scenarios {
+				if w -= cand.weight; w < 0 {
+					sc = cand
+					break
+				}
+			}
+		}
+		dl := drawDeadline(rng, deadlines, deadlineWeight)
+		mu.Lock()
+		tstats[ti].offered++
+		mu.Unlock()
+		wg.Add(1)
+		go func(ti int, sc scenario, dl time.Duration) {
+			defer wg.Done()
+			sess, err := clients[ti].Submit(context.Background(), front.SubmitRequest{
+				Workload: sc.name, Scale: cfg.scale, Deadline: dl,
+			})
+			if err != nil {
+				reason := rejectReason(err)
+				mu.Lock()
+				tstats[ti].rejected[reason]++
+				rejectReasons[reason]++
+				// An admission shed must only ever hit requests that
+				// actually carried a deadline: shedding a deadline-free
+				// request as "infeasible" is a misclassification.
+				if reason == front.RejectDeadline && dl == 0 {
+					misclassified++
+					fmt.Fprintf(os.Stderr, "loadgen: MISCLASSIFIED: deadline rejection for deadline-free %s: %v\n", sc.name, err)
+				}
+				mu.Unlock()
+				if cfg.verbose {
+					fmt.Fprintf(os.Stderr, "loadgen: reject %s: %v\n", sc.name, err)
+				}
+				return
+			}
+			sess.Wait()
+			got := sess.Verdict()
+			okVerdict := got == sc.want || (dl > 0 && got == serve.VerdictCanceled)
+			mu.Lock()
+			st := stats[sc.name]
+			st.count++
+			tstats[ti].accepted++
+			tstats[ti].completed++
+			completed++
+			if dl > 0 {
+				st.deadlined++
+			}
+			if got == serve.VerdictCanceled {
+				st.canceled++
+			}
+			if !okVerdict {
+				st.bad++
+				falseVerdicts++
+				fmt.Fprintf(os.Stderr, "loadgen: FALSE VERDICT %s: got %s want %s: %v\n",
+					sc.name, got, sc.want, sess.Err())
+			}
+			st.hist.Observe(sess.Duration())
+			total.Observe(sess.Duration())
+			mu.Unlock()
+		}(ti, sc, dl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Take the windowed view before the drain, then shut the self-hosted
+	// front down gracefully and check nothing survived it.
+	var ps *serve.PoolStats
+	var observation *serve.Observation
+	leaked := 0
+	if f != nil {
+		obsv := f.Pool().Observe()
+		observation = &obsv
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := f.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: front shutdown: %v\n", err)
+		}
+		scancel()
+		p := f.Pool().Stats()
+		ps = &p
+		for _, c := range clients {
+			c.Close()
+		}
+		leaked = -1
+		for wait := time.Now().Add(5 * time.Second); time.Now().Before(wait); time.Sleep(10 * time.Millisecond) {
+			if g := runtime.NumGoroutine(); g <= goroutinesBefore {
+				leaked = 0
+				break
+			}
+		}
+		if leaked != 0 {
+			leaked = runtime.NumGoroutine() - goroutinesBefore
+		}
+	}
+
+	// --- report ---
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("front open-loop report: %d completed of %d offered in %v (%.1f/s completed)\n\n",
+		completed, offeredTotal(tstats), elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds())
+	var rows []scenarioReport
+	var deadlined, canceledTotal int64
+	fmt.Printf("%-16s %9s %9s %9s %9s %9s %8s %6s\n",
+		"scenario", "sessions", "thr(/s)", "p50(ms)", "p90(ms)", "p99(ms)", "cancel", "false")
+	for _, name := range names {
+		st := stats[name]
+		sum := st.hist.Summary()
+		row := scenarioReport{
+			Name: name, Sessions: st.count,
+			PerSec:    float64(st.count) / elapsed.Seconds(),
+			Deadlined: st.deadlined, Canceled: st.canceled, FalseVerdicts: st.bad,
+			HistSummary: sum,
+		}
+		rows = append(rows, row)
+		deadlined += st.deadlined
+		canceledTotal += st.canceled
+		fmt.Printf("%-16s %9d %9.1f %9.3f %9.3f %9.3f %8d %6d\n",
+			name, st.count, row.PerSec, sum.P50Ms, sum.P90Ms, sum.P99Ms, st.canceled, st.bad)
+	}
+	totalSum := total.Summary()
+	totalRow := scenarioReport{
+		Name: "total", Sessions: completed,
+		PerSec:    float64(completed) / elapsed.Seconds(),
+		Deadlined: deadlined, Canceled: canceledTotal, FalseVerdicts: falseVerdicts,
+		HistSummary: totalSum,
+	}
+	fmt.Println()
+
+	// Per-tenant accounting and the weighted-fairness check: completed
+	// sessions per unit weight must agree across tenants (within TOL)
+	// whenever the run actually backlogged them.
+	trep := make([]tenantReport, len(cfg.tenants))
+	fmt.Printf("%-10s %6s %9s %9s %9s %12s %14s\n",
+		"tenant", "weight", "offered", "accepted", "completed", "compl(/s)", "compl/share")
+	for i, ts := range cfg.tenants {
+		t := tstats[i]
+		trep[i] = tenantReport{
+			Name: ts.name, Weight: ts.weight,
+			Offered: t.offered, Accepted: t.accepted, Completed: t.completed,
+			CompletedPS:  float64(t.completed) / elapsed.Seconds(),
+			Rejected:     t.rejected,
+			NormPerShare: float64(t.completed) / float64(ts.weight),
+		}
+		fmt.Printf("%-10s %6d %9d %9d %9d %12.1f %14.1f\n",
+			ts.name, ts.weight, t.offered, t.accepted, t.completed,
+			trep[i].CompletedPS, trep[i].NormPerShare)
+	}
+	reasons := make([]string, 0, len(rejectReasons))
+	for r := range rejectReasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	fmt.Printf("\nrejects:")
+	if len(reasons) == 0 {
+		fmt.Printf(" none")
+	}
+	for _, r := range reasons {
+		fmt.Printf(" %s=%d", r, rejectReasons[r])
+	}
+	fmt.Println()
+	if ps != nil {
+		fmt.Printf("pool: %d completed (%d clean, %d deadlock, %d canceled), %d rejected (%d deadline-shed), %d dropped events\n",
+			ps.Completed, ps.Clean, ps.Deadlocks, ps.Canceled, ps.Rejected, ps.RejectedDeadline, ps.EventsDropped)
+		fmt.Printf("goroutines: %d before, %d leaked after Shutdown\n", goroutinesBefore, leaked)
+	}
+	if observation != nil {
+		fmt.Printf("observe (last %v): exec n=%d p50=%.3fms p99=%.3fms | queue-wait p99=%.3fms\n",
+			observation.Span, observation.Exec.Count, observation.Exec.P50Ms, observation.Exec.P99Ms,
+			observation.QueueWait.P99Ms)
+	}
+
+	var fairnessOK *bool
+	if fairnessTol > 0 && len(cfg.tenants) >= 2 {
+		ok := true
+		mean := 0.0
+		for _, tr := range trep {
+			mean += tr.NormPerShare
+		}
+		mean /= float64(len(trep))
+		for _, tr := range trep {
+			if mean == 0 || math.Abs(tr.NormPerShare-mean)/mean > fairnessTol {
+				ok = false
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL: tenant %s completed/share %.1f deviates from mean %.1f beyond %.0f%%\n",
+					tr.Name, tr.NormPerShare, mean, fairnessTol*100)
+			}
+		}
+		fairnessOK = &ok
+		if ok {
+			fmt.Printf("fairness: completed/share within %.0f%% of mean across %d tenants\n", fairnessTol*100, len(trep))
+		}
+	}
+
+	if cfg.jsonOut != "" {
+		rep := frontReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Rate:        cfg.rate, Shape: cfg.shape,
+			Duration: cfg.dur.String(), Scale: cfg.scale, Mode: cfg.mode,
+			Mix: cfg.mix, Inject: cfg.inject, Deadline: cfg.deadlineStr,
+			SelfHosted: f != nil, Tenants: trep, Scenarios: rows, Total: totalRow,
+			RejectReasons: rejectReasons, Misclassified: misclassified,
+			FairnessTol: fairnessTol, FairnessOK: fairnessOK,
+			Leaked: leaked, Pool: ps, Observe: observation,
+		}
+		if err := writeJSONSection(cfg.jsonOut, "front", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", cfg.jsonOut, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", cfg.jsonOut)
+	}
+
+	bad := false
+	if falseVerdicts > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d false verdicts\n", falseVerdicts)
+		bad = true
+	}
+	if misclassified > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d deadline rejections of deadline-free requests\n", misclassified)
+		bad = true
+	}
+	if fairnessOK != nil && !*fairnessOK {
+		bad = true
+	}
+	if ps != nil && ps.EventsDropped > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d dropped trace events\n", ps.EventsDropped)
+		bad = true
+	}
+	if leaked != 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d goroutines leaked after Front.Shutdown\n", leaked)
+		bad = true
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+func (cfg openConfig) tenantsString() string {
+	parts := make([]string, len(cfg.tenants))
+	for i, ts := range cfg.tenants {
+		parts[i] = fmt.Sprintf("%s:%d", ts.name, ts.weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+func offeredTotal(tstats []*tenantStat) int64 {
+	var n int64
+	for _, t := range tstats {
+		n += t.offered
+	}
+	return n
+}

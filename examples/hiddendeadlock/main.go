@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,13 +31,13 @@ import (
 )
 
 // runFrozen is the hang-tolerant demo driver: run main, and if it has
-// not finished after d, abandon the frozen task tree (no cancellation,
-// so the hang stays observable) and report ErrTimeout. One
-// implementation exists — the deprecated shim, itself a RunDetached
-// wrapper — and the demos are its intended remaining users.
+// not finished after d, abandon the frozen task tree (RunDetached — no
+// cancellation, so the hang stays observable) and report ErrTimeout as
+// the deadline's cause.
 func runFrozen(rt *core.Runtime, d time.Duration, main core.TaskFunc) error {
-	//lint:ignore SA1019 the demos deliberately keep the shim's freeze-the-hang contract
-	return rt.RunWithTimeout(d, main)
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d, core.ErrTimeout)
+	defer cancel()
+	return rt.RunDetached(ctx, main)
 }
 
 func main() {

@@ -6,12 +6,35 @@ package core
 // ownership-based detector, plus the type-erased Await.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// runDeadline is the §1 whole-program-timeout comparator on the
+// context-first API: run with a hard deadline that ABANDONS the tree on
+// expiry (RunDetached), reporting the bare ErrTimeout sentinel as the
+// cancellation cause — the pattern the retired RunWithTimeout shim
+// packaged.
+func runDeadline(rt *Runtime, d time.Duration, main TaskFunc) error {
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d, ErrTimeout)
+	defer cancel()
+	return rt.RunDetached(ctx, main)
+}
+
+// timeoutGet is the §1 per-wait-timeout comparator on the context-first
+// API: GetContext under a deadline context carrying ErrAwaitTimeout as
+// its cause, so errors.Is(err, ErrAwaitTimeout) classifies the give-up
+// (the pattern the retired GetTimeout shim packaged — the CanceledError
+// wrapper now carries task/promise blame the bare sentinel never did).
+func timeoutGet[T any](p *Promise[T], tk *Task, d time.Duration) (T, error) {
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d, ErrAwaitTimeout)
+	defer cancel()
+	return p.GetContext(ctx, tk)
+}
 
 func TestAwaitTypeErased(t *testing.T) {
 	rt := NewRuntime(WithMode(Full))
@@ -85,7 +108,7 @@ func TestIdleWatchFiresWhenAllTasksBlocked(t *testing.T) {
 		default:
 		}
 	}))
-	err := rt.RunWithTimeout(2*time.Second, func(root *Task) error {
+	err := runDeadline(rt, 2*time.Second, func(root *Task) error {
 		p := NewPromise[int](root)
 		q := NewPromise[int](root)
 		if _, e := root.Async(func(t2 *Task) error {
@@ -118,7 +141,7 @@ func TestIdleWatchBlindToHiddenDeadlock(t *testing.T) {
 	var fired atomic.Bool
 	rt := NewRuntime(WithMode(Unverified), WithIdleWatch(func(int) { fired.Store(true) }))
 	stop := make(chan struct{})
-	err := rt.RunWithTimeout(500*time.Millisecond, func(root *Task) error {
+	err := runDeadline(rt, 500*time.Millisecond, func(root *Task) error {
 		p := NewPromise[int](root)
 		q := NewPromise[int](root)
 		if _, e := root.Async(func(t1 *Task) error {
@@ -176,12 +199,12 @@ func TestIdleWatchQuietOnCleanProgram(t *testing.T) {
 	}
 }
 
-func TestGetTimeoutFulfilledFastPath(t *testing.T) {
+func TestTimeoutGetFulfilledFastPath(t *testing.T) {
 	rt := NewRuntime(WithMode(Full))
 	err := run(t, rt, func(tk *Task) error {
 		p := NewPromise[int](tk)
 		p.MustSet(tk, 5)
-		v, e := p.GetTimeout(tk, time.Millisecond)
+		v, e := timeoutGet(p, tk, time.Millisecond)
 		if e != nil || v != 5 {
 			return fmt.Errorf("got %d, %v", v, e)
 		}
@@ -192,7 +215,7 @@ func TestGetTimeoutFulfilledFastPath(t *testing.T) {
 	}
 }
 
-func TestGetTimeoutDeliversLateValue(t *testing.T) {
+func TestTimeoutGetDeliversLateValue(t *testing.T) {
 	rt := NewRuntime(WithMode(Full))
 	err := run(t, rt, func(tk *Task) error {
 		p := NewPromise[int](tk)
@@ -202,7 +225,7 @@ func TestGetTimeoutDeliversLateValue(t *testing.T) {
 		}, p); e != nil {
 			return e
 		}
-		v, e := p.GetTimeout(tk, 10*time.Second)
+		v, e := timeoutGet(p, tk, 10*time.Second)
 		if e != nil || v != 9 {
 			return fmt.Errorf("got %d, %v", v, e)
 		}
@@ -213,7 +236,7 @@ func TestGetTimeoutDeliversLateValue(t *testing.T) {
 	}
 }
 
-func TestGetTimeoutFalseAlarm(t *testing.T) {
+func TestTimeoutGetFalseAlarm(t *testing.T) {
 	// The §1 critique of timeouts, as a test: a slow-but-correct producer
 	// trips the timeout although no deadlock exists, while the precise
 	// detector (a plain Get afterwards) is perfectly happy to wait.
@@ -226,7 +249,7 @@ func TestGetTimeoutFalseAlarm(t *testing.T) {
 		}, p); e != nil {
 			return e
 		}
-		if _, e := p.GetTimeout(tk, 5*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
+		if _, e := timeoutGet(p, tk, 5*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
 			return fmt.Errorf("timeout get = %v, want ErrAwaitTimeout (the false alarm)", e)
 		}
 		// The precise wait succeeds: there never was a deadlock.
@@ -241,7 +264,7 @@ func TestGetTimeoutFalseAlarm(t *testing.T) {
 	}
 }
 
-func TestGetTimeoutMissesCycle(t *testing.T) {
+func TestTimeoutGetMissesCycle(t *testing.T) {
 	// The flip side: a genuine cycle of timed waits is never REPORTED as a
 	// deadlock by the timeout strategy — both parties just give up with an
 	// inconclusive error, and blame evaporates.
@@ -253,7 +276,7 @@ func TestGetTimeoutMissesCycle(t *testing.T) {
 		// at ~150ms, well after the other side's deadline, so both waits
 		// deterministically end in inconclusive timeouts.
 		if _, e := tk.Async(func(t2 *Task) error {
-			if _, e := p.GetTimeout(t2, 50*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
+			if _, e := timeoutGet(p, t2, 50*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
 				return fmt.Errorf("t2 wait = %v", e)
 			}
 			time.Sleep(100 * time.Millisecond)
@@ -261,7 +284,7 @@ func TestGetTimeoutMissesCycle(t *testing.T) {
 		}, q); e != nil {
 			return e
 		}
-		if _, e := q.GetTimeout(tk, 50*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
+		if _, e := timeoutGet(q, tk, 50*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
 			return fmt.Errorf("root wait = %v", e)
 		}
 		time.Sleep(100 * time.Millisecond)

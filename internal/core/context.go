@@ -41,7 +41,6 @@ package core
 import (
 	"context"
 	"sync/atomic"
-	"time"
 )
 
 // runScope is the active run-level cancellation scope, installed by
@@ -133,22 +132,6 @@ func (r *Runtime) RunDetached(ctx context.Context, main TaskFunc) error {
 	case <-ctx.Done():
 		return joinErrs(context.Cause(ctx), r.Err())
 	}
-}
-
-// RunWithTimeout is Run with a deadline. If the program does not finish
-// in time it returns an error wrapping ErrTimeout together with any
-// errors recorded so far; the hung tasks' goroutines are abandoned. This
-// is intended for demonstrations and tests of programs that hang under
-// the weaker modes.
-//
-// Deprecated: RunWithTimeout predates the context-first API. Use
-// RunContext (cooperative cancellation that unwinds the tree) or
-// RunDetached with a deadline context (this function's abandon-the-hang
-// behaviour, with the caller in charge of the context).
-func (r *Runtime) RunWithTimeout(d time.Duration, main TaskFunc) error {
-	ctx, cancel := context.WithTimeoutCause(context.Background(), d, ErrTimeout)
-	defer cancel()
-	return r.RunDetached(ctx, main)
 }
 
 // Context returns the cancellation scope this task's run executes under:

@@ -315,10 +315,11 @@ func TestRunDetachedLeavesHangFrozen(t *testing.T) {
 	}
 }
 
-func TestGetTimeoutShimKeepsSentinelAndLogsCancelWake(t *testing.T) {
-	// The deprecated shim rides the ctx path but still reports the bare
-	// ErrAwaitTimeout, and its expired wait closes the block/wake pair
-	// with a "cancel" wake the offline verifier accepts.
+func TestTimedWaitKeepsSentinelAndLogsCancelWake(t *testing.T) {
+	// A timed wait (GetContext under a deadline ctx carrying the
+	// ErrAwaitTimeout cause) stays errors.Is-matchable against the bare
+	// sentinel, and its expired wait closes the block/wake pair with a
+	// "cancel" wake the offline verifier accepts.
 	rt := NewRuntime(WithMode(Full), WithEventLog(256))
 	err := run(t, rt, func(tk *Task) error {
 		p := NewPromise[int](tk)
@@ -328,8 +329,8 @@ func TestGetTimeoutShimKeepsSentinelAndLogsCancelWake(t *testing.T) {
 		}, p); e != nil {
 			return e
 		}
-		if _, e := p.GetTimeout(tk, 2*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
-			return fmt.Errorf("GetTimeout = %v, want ErrAwaitTimeout", e)
+		if _, e := timeoutGet(p, tk, 2*time.Millisecond); !errors.Is(e, ErrAwaitTimeout) {
+			return fmt.Errorf("timed wait = %v, want ErrAwaitTimeout", e)
 		}
 		_, e := p.Get(tk)
 		return e
@@ -344,7 +345,7 @@ func TestGetTimeoutShimKeepsSentinelAndLogsCancelWake(t *testing.T) {
 		}
 	}
 	if !sawCancelWake {
-		t.Fatal("expired GetTimeout logged no wake(cancel)")
+		t.Fatal("expired timed wait logged no wake(cancel)")
 	}
 	if rep := trace.Verify(rt.Events()); !rep.Clean() {
 		t.Fatalf("timed-out-but-clean run fails offline verification: %s\n%v", rep.Summary(), rep.Problems)

@@ -68,7 +68,7 @@ func TestListing1HangsWithoutDetector(t *testing.T) {
 	// Under Ownership (Algorithm 1 only) the deadlock is invisible because
 	// t1 keeps the program "alive": exactly the scenario from §1.
 	rt := NewRuntime(WithMode(Ownership))
-	err := rt.RunWithTimeout(300*time.Millisecond, func(root *Task) error {
+	err := runDeadline(rt, 300*time.Millisecond, func(root *Task) error {
 		p := NewPromise[int](root)
 		q := NewPromise[int](root)
 		if _, e := root.Async(func(t2 *Task) error {

@@ -6,16 +6,20 @@ import (
 	"strings"
 )
 
-// ErrTimeout is reported by RunWithTimeout when the program did not finish
-// within its deadline. Under the Unverified and Ownership modes a deadlock
-// cycle manifests only as such a hang; Full mode raises a DeadlockError at
-// the moment the cycle forms instead.
+// ErrTimeout is the conventional cancellation cause for a run deadline:
+// pass it to context.WithTimeoutCause and RunDetached (or RunContext)
+// and errors.Is(err, ErrTimeout) identifies a program that did not
+// finish in time. Under the Unverified and Ownership modes a deadlock
+// cycle manifests only as such a hang; Full mode raises a DeadlockError
+// at the moment the cycle forms instead.
 var ErrTimeout = errors.New("core: run timed out (program hung; possible undetected deadlock)")
 
-// ErrAwaitTimeout is returned by Promise.GetTimeout when the deadline
-// expires before fulfilment. It is deliberately NOT a DeadlockError: a
-// timed-out wait proves nothing about cycles (the heuristic's imprecision
-// discussed in §1).
+// ErrAwaitTimeout is the conventional cancellation cause for a single
+// bounded wait: pass it to context.WithTimeoutCause and GetContext, and
+// errors.Is(err, ErrAwaitTimeout) identifies a wait whose deadline
+// expired before fulfilment. It is deliberately NOT a DeadlockError: a
+// timed-out wait proves nothing about cycles (the heuristic's
+// imprecision discussed in §1).
 var ErrAwaitTimeout = errors.New("core: promise wait timed out (heuristic; not proof of deadlock)")
 
 // CanceledError reports a wait or a run abandoned because its context —

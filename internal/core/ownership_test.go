@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestNewPromiseOwnedByCreator(t *testing.T) {
@@ -220,7 +221,7 @@ func TestOmittedSetUndetectedWhenUnverified(t *testing.T) {
 	// The same bug under the baseline: the consumer hangs forever, which is
 	// exactly why the paper's policy exists.
 	rt := NewRuntime(WithMode(Unverified))
-	err := rt.RunWithTimeout(200_000_000, func(tk *Task) error { // 200ms
+	err := runDeadline(rt, 200*time.Millisecond, func(tk *Task) error {
 		s := NewPromise[int](tk)
 		if _, e := tk.Async(func(c *Task) error { return nil }, s); e != nil {
 			return e

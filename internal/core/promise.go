@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
-	"time"
 )
 
 // Lifecycle values of pstate.state, the packed promise state word.
@@ -430,37 +428,6 @@ func (p *Promise[T]) GetContext(ctx context.Context, t *Task) (T, error) {
 		return zero, err
 	}
 	return p.value, p.s.err
-}
-
-// GetTimeout is Get bounded by a deadline: if the promise is not fulfilled
-// within d, it returns ErrAwaitTimeout without a payload (the task stops
-// waiting). This is the timeout heuristic of §1 — provided as a
-// comparator, NOT as detection: a timeout may fire when there is no
-// deadlock (a false alarm), and the tests demonstrate exactly that
-// imprecision against the detector's alarm-iff-deadlock guarantee.
-//
-// GetTimeout is a thin wrapper over GetContext, and since the ctx
-// redesign a timed wait IS policy-checked: it publishes a waits-for edge
-// and, in Full mode, runs Algorithm 2 — a cycle of timed waits is
-// reported as a precise DeadlockError the moment it forms instead of
-// being left to the deadline (strictly earlier, strictly more
-// informative; the weaker modes keep the historical time-out-and-guess
-// behaviour). Timed waits appear in the event log as ordinary blocks,
-// closed by EvWake with detail "cancel" when the deadline fires first.
-//
-// Deprecated: GetTimeout predates the context-first API. Use GetContext
-// with a deadline context; it reports the deadline as a CanceledError
-// carrying the task and promise instead of the bare ErrAwaitTimeout.
-func (p *Promise[T]) GetTimeout(t *Task, d time.Duration) (T, error) {
-	ctx, cancel := context.WithTimeoutCause(context.Background(), d, ErrAwaitTimeout)
-	defer cancel()
-	v, err := p.GetContext(ctx, t)
-	var ce *CanceledError
-	if errors.As(err, &ce) && errors.Is(ce.Cause, ErrAwaitTimeout) {
-		// Historical contract: the deadline reports the bare sentinel.
-		return v, ErrAwaitTimeout
-	}
-	return v, err
 }
 
 // MustGet is Get for contexts where an error is a programming bug; it

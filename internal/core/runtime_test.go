@@ -137,17 +137,17 @@ func TestAlarmHandlerFiresBeforePropagation(t *testing.T) {
 	}
 }
 
-func TestRunWithTimeoutCompletesNormally(t *testing.T) {
+func TestRunDeadlineCompletesNormally(t *testing.T) {
 	rt := NewRuntime()
-	err := rt.RunWithTimeout(5*time.Second, func(tk *Task) error { return nil })
+	err := runDeadline(rt, 5*time.Second, func(tk *Task) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunWithTimeoutReportsHang(t *testing.T) {
+func TestRunDeadlineReportsHang(t *testing.T) {
 	rt := NewRuntime(WithMode(Unverified))
-	err := rt.RunWithTimeout(100*time.Millisecond, func(tk *Task) error {
+	err := runDeadline(rt, 100*time.Millisecond, func(tk *Task) error {
 		p := NewPromise[int](tk)
 		_, e := p.Get(tk) // nobody will ever set this
 		return e

@@ -1,0 +1,382 @@
+package front
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Client is the Go client for a Front. One Client owns one TCP
+// connection; Submit is safe for concurrent use, and each submission
+// returns a *RemoteSession — the remote implementation of
+// serve.SessionHandle, so code written against the handle (the load
+// generator, operator tooling) drives local and remote sessions
+// identically.
+type Client struct {
+	nc     net.Conn
+	fw     *frameWriter
+	tenant string
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*RemoteSession
+	closed  bool
+	goaway  bool
+	readErr error
+	// readDone is closed when the reader goroutine exits.
+	readDone chan struct{}
+}
+
+// SubmitRequest describes one remote session.
+type SubmitRequest struct {
+	// Workload is the registered workload name ("Sieve", "Deadlock", ...).
+	Workload string
+	// Scale is the workload scale ("small", "default", "paper"); empty
+	// selects default.
+	Scale string
+	// Deadline, when positive, is the session's relative deadline. It is
+	// sent as a duration and re-anchored on the server clock, and it is
+	// what deadline-aware admission judges.
+	Deadline time.Duration
+	// Trace requests the session's retained event log back with the
+	// verdict (RemoteSession.Trace).
+	Trace bool
+}
+
+// RemoteSession is a submitted-and-accepted remote session. It
+// implements serve.SessionHandle; accessors other than ID, Name, Tenant
+// and Done are valid after Wait (or a receive from Done) returns.
+type RemoteSession struct {
+	c        *Client
+	id       uint64
+	workload string
+	tenant   string
+
+	// admitted carries the synchronous admission answer (nil or the
+	// mapped rejection error) from the read loop to Submit.
+	admitted chan error
+
+	done    chan struct{}
+	err     error
+	verdict serve.Verdict
+	queue   time.Duration
+	dur     time.Duration
+	trace   []byte
+}
+
+// Dial connects to a Front, performs the version/key handshake, and
+// returns a ready Client. The key decides the fairness tenant every
+// session on this connection is accounted under.
+func Dial(addr, key string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("front: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		nc:       nc,
+		fw:       &frameWriter{w: nc},
+		pending:  make(map[uint64]*RemoteSession),
+		readDone: make(chan struct{}),
+	}
+	if err := c.fw.send(frameHello, helloMsg{Version: ProtocolVersion, Key: key}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	typ, body, err := readFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("front: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	var ack helloAckMsg
+	if typ != frameHelloAck || decode(typ, body, &ack) != nil {
+		nc.Close()
+		return nil, errors.New("front: handshake: expected helloAck")
+	}
+	if ack.Err != "" {
+		nc.Close()
+		return nil, fmt.Errorf("front: server refused connection: %s", ack.Err)
+	}
+	c.tenant = ack.Tenant
+	go c.readLoop()
+	return c, nil
+}
+
+// Tenant returns the fairness tenant the server mapped this client's
+// API key to.
+func (c *Client) Tenant() string { return c.tenant }
+
+// Submit sends one session to the server and waits for its synchronous
+// admission answer. On acceptance the returned RemoteSession's verdict
+// arrives asynchronously (Wait/Done); on rejection the error carries
+// the same sentinels the local pool uses — errors.Is against
+// serve.ErrDeadlineInfeasible, serve.ErrPoolSaturated and
+// serve.ErrPoolClosed classifies it. ctx bounds only the wait for the
+// admission answer; cancelling an accepted session is Cancel's job.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*RemoteSession, error) {
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("front: client closed: %w", serve.ErrPoolClosed)
+	}
+	if c.goaway {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("front: server is draining: %w", serve.ErrPoolClosed)
+	}
+	c.nextID++
+	s := &RemoteSession{
+		c:        c,
+		id:       c.nextID,
+		workload: req.Workload,
+		tenant:   c.tenant,
+		done:     make(chan struct{}),
+	}
+	s.admitted = make(chan error, 1)
+	c.pending[s.id] = s
+	c.mu.Unlock()
+
+	msg := submitMsg{ID: s.id, Workload: req.Workload, Scale: req.Scale, Trace: req.Trace}
+	if req.Deadline > 0 {
+		msg.DeadlineMs = req.Deadline.Milliseconds()
+		if msg.DeadlineMs == 0 {
+			msg.DeadlineMs = 1
+		}
+	}
+	if err := c.fw.send(frameSubmit, msg); err != nil {
+		c.drop(s.id)
+		return nil, err
+	}
+	select {
+	case err := <-s.admitted:
+		if err != nil {
+			c.drop(s.id)
+			return nil, err
+		}
+		return s, nil
+	case <-ctx.Done():
+		// Best-effort: tell the server we no longer care, keep the
+		// pending entry so a late accept/verdict finds a home.
+		c.fw.send(frameCancel, cancelMsg{ID: s.id})
+		c.drop(s.id)
+		return nil, context.Cause(ctx)
+	case <-c.readDone:
+		c.drop(s.id)
+		return nil, fmt.Errorf("front: connection lost: %w", serve.ErrPoolClosed)
+	}
+}
+
+// Cancel asks the server to cancel an accepted session. Best-effort:
+// the session still completes with a verdict (normally "canceled").
+func (c *Client) Cancel(s *RemoteSession) error {
+	return c.fw.send(frameCancel, cancelMsg{ID: s.id})
+}
+
+// Close tears the connection down. In-flight sessions complete locally
+// with a connection-lost error and serve.VerdictCanceled.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	<-c.readDone
+	return err
+}
+
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// readLoop is the connection's single reader: it correlates every
+// server frame back to its session by id and completes the handles.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	var err error
+	for {
+		var typ byte
+		var body []byte
+		typ, body, err = readFrame(c.nc)
+		if err != nil {
+			break
+		}
+		switch typ {
+		case frameAccept:
+			var msg acceptMsg
+			if decode(typ, body, &msg) != nil {
+				err = errors.New("front: corrupt accept")
+			} else if s := c.lookup(msg.ID); s != nil {
+				s.admitted <- nil
+			}
+		case frameReject:
+			var msg rejectMsg
+			if decode(typ, body, &msg) != nil {
+				err = errors.New("front: corrupt reject")
+			} else if s := c.lookup(msg.ID); s != nil {
+				s.admitted <- rejectError(msg)
+			}
+		case frameVerdict:
+			var msg verdictMsg
+			if decode(typ, body, &msg) != nil {
+				err = errors.New("front: corrupt verdict")
+			} else if s := c.take(msg.ID); s != nil {
+				s.verdict = parseVerdict(msg.Verdict)
+				if msg.Err != "" {
+					s.err = &RemoteError{Verdict: s.verdict, Msg: msg.Err}
+				}
+				s.queue = time.Duration(msg.QueueMs) * time.Millisecond
+				s.dur = time.Duration(msg.DurationMs) * time.Millisecond
+				s.trace = msg.Trace
+				close(s.done)
+			}
+		case frameGoaway:
+			c.mu.Lock()
+			c.goaway = true
+			c.mu.Unlock()
+		default:
+			err = fmt.Errorf("front: unexpected frame type %d", typ)
+		}
+		if err != nil {
+			break
+		}
+	}
+	// Connection over: fail whatever is still outstanding.
+	c.mu.Lock()
+	c.readErr = err
+	pending := c.pending
+	c.pending = make(map[uint64]*RemoteSession)
+	c.mu.Unlock()
+	for _, s := range pending {
+		select {
+		case s.admitted <- fmt.Errorf("front: connection lost: %w", serve.ErrPoolClosed):
+		default:
+		}
+		select {
+		case <-s.done:
+		default:
+			s.err = fmt.Errorf("front: connection lost before verdict: %w", serve.ErrPoolClosed)
+			s.verdict = serve.VerdictCanceled
+			close(s.done)
+		}
+	}
+}
+
+func (c *Client) lookup(id uint64) *RemoteSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[id]
+}
+
+// take removes and returns the session — verdict is the id's last frame.
+func (c *Client) take(id uint64) *RemoteSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.pending[id]
+	delete(c.pending, id)
+	return s
+}
+
+// rejectError maps a wire rejection onto the serving layer's error
+// sentinels, so remote and local callers classify identically.
+func rejectError(msg rejectMsg) error {
+	var sentinel error
+	switch msg.Reason {
+	case RejectDeadline:
+		sentinel = serve.ErrDeadlineInfeasible
+	case RejectSaturated:
+		sentinel = serve.ErrPoolSaturated
+	case RejectDraining:
+		sentinel = serve.ErrPoolClosed
+	default:
+		return fmt.Errorf("front: rejected (%s): %s", msg.Reason, msg.Err)
+	}
+	return fmt.Errorf("front: rejected (%s): %s: %w", msg.Reason, msg.Err, sentinel)
+}
+
+// RemoteError is a session error reconstructed from the wire: the
+// server sends the error text, not the value, so only the verdict
+// classification survives the crossing — callers route on Verdict (or
+// the Msg text), not errors.As.
+type RemoteError struct {
+	Verdict serve.Verdict
+	Msg     string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+func parseVerdict(s string) serve.Verdict {
+	for v := serve.Verdict(0); ; v++ {
+		if v.String() == s {
+			return v
+		}
+		if v.String() == "unknown" {
+			return serve.VerdictFailed
+		}
+	}
+}
+
+// --- RemoteSession: the serve.SessionHandle surface ---
+
+var _ serve.SessionHandle = (*RemoteSession)(nil)
+
+// ID returns the client-assigned, connection-unique session id.
+func (s *RemoteSession) ID() uint64 { return s.id }
+
+// Name returns the workload name the session was submitted as.
+func (s *RemoteSession) Name() string { return s.workload }
+
+// Tenant returns the fairness tenant (from the connection's API key).
+func (s *RemoteSession) Tenant() string { return s.tenant }
+
+// Done returns a channel closed when the session's verdict has arrived
+// (or the connection was lost).
+func (s *RemoteSession) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the verdict arrives and returns the session error.
+func (s *RemoteSession) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Err returns the session's error. Valid after Wait/Done.
+func (s *RemoteSession) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Verdict returns the classified outcome. Valid after Wait/Done.
+func (s *RemoteSession) Verdict() serve.Verdict {
+	<-s.done
+	return s.verdict
+}
+
+// QueueLatency is the server-measured admission wait. Valid after
+// Wait/Done. Millisecond granularity: it crosses the wire.
+func (s *RemoteSession) QueueLatency() time.Duration {
+	<-s.done
+	return s.queue
+}
+
+// Duration is the server-measured execution time. Valid after
+// Wait/Done. Millisecond granularity: it crosses the wire.
+func (s *RemoteSession) Duration() time.Duration {
+	<-s.done
+	return s.dur
+}
+
+// Trace returns the session's event log bytes, if requested at Submit.
+// Valid after Wait/Done.
+func (s *RemoteSession) Trace() []byte {
+	<-s.done
+	return s.trace
+}

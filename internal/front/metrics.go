@@ -1,0 +1,42 @@
+package front
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// frontMetrics is the network edge's metric set — all control-plane
+// sites (connection setup, admission answers, verdict delivery). The
+// reject-reason and verdict label spaces are closed enums from the wire
+// schema, and the tenant dimension never appears here at all: tenant
+// attribution lives on the serve_* families, already bounded by the
+// serving layer's cardinality guard, so a flood of hostile API keys
+// grows nothing.
+type frontMetrics struct {
+	connections  *obs.Counter
+	authFailures *obs.Counter
+	submitted    *obs.Counter
+	rejected     *obs.CounterVec // label: reason (closed set, see wire.go)
+	verdicts     *obs.CounterVec // label: verdict
+}
+
+var frontMet atomic.Pointer[frontMetrics]
+
+func fmet() *frontMetrics { return frontMet.Load() }
+
+func init() {
+	obs.OnInstall(func(reg *obs.Registry) {
+		if reg == nil {
+			frontMet.Store(nil)
+			return
+		}
+		frontMet.Store(&frontMetrics{
+			connections:  reg.Counter("front_connections_total"),
+			authFailures: reg.Counter("front_auth_failures_total"),
+			submitted:    reg.Counter("front_sessions_submitted_total"),
+			rejected:     reg.CounterVec("front_rejected_total", "reason"),
+			verdicts:     reg.CounterVec("front_verdicts_total", "verdict"),
+		})
+	})
+}

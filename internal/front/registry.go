@@ -1,0 +1,46 @@
+package front
+
+import (
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Registry maps the workload names a front accepts over the wire to
+// session program factories. The default registry is the benchmark
+// table (internal/workloads.All) plus "Deadlock", the paper's Listing 1
+// two-promise cycle — the canonical true-positive a remote caller uses
+// to smoke-test that verdicts actually travel the wire.
+type Registry map[string]func(scale workloads.Scale) core.TaskFunc
+
+// DefaultRegistry builds the standard workload registry.
+func DefaultRegistry() Registry {
+	reg := make(Registry, 12)
+	for _, e := range workloads.All() {
+		prog := e.Prog
+		reg[e.Name] = func(scale workloads.Scale) core.TaskFunc {
+			return prog(scale)()
+		}
+	}
+	reg["Deadlock"] = func(workloads.Scale) core.TaskFunc { return listing1 }
+	return reg
+}
+
+// listing1 is the paper's Listing 1: two promises, each task Gets the
+// other's before Setting its own — a guaranteed 2-cycle the detector
+// must convict.
+func listing1(root *core.Task) error {
+	p := core.NewPromise[int](root)
+	q := core.NewPromise[int](root)
+	if _, err := root.Async(func(t2 *core.Task) error {
+		if _, err := p.Get(t2); err != nil {
+			return err
+		}
+		return q.Set(t2, 1)
+	}, q); err != nil {
+		return err
+	}
+	if _, err := q.Get(root); err != nil {
+		return err
+	}
+	return p.Set(root, 1)
+}

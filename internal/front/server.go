@@ -1,0 +1,372 @@
+package front
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// handshakeTimeout bounds how long a fresh conn may sit before its hello
+// arrives — an unauthenticated socket must not pin a goroutine forever.
+const handshakeTimeout = 5 * time.Second
+
+// defaultTraceCap is the per-session event-log retention for sessions
+// that request trace bytes.
+const defaultTraceCap = 4096
+
+// Config configures a Front. The serving pool behind it is configured
+// through the same serve.Option family Pool construction uses — the
+// front adds only what the network edge needs: an address, the API-key
+// to tenant map, and the workload registry.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// Keys maps API keys (sent in the hello frame) to fairness tenant
+	// names. A key's tenant gets the weight configured for it via
+	// serve.WithTenantWeight in Serve. Empty means no remote caller can
+	// authenticate.
+	Keys map[string]string
+	// Registry maps wire workload names to programs; nil selects
+	// DefaultRegistry (the benchmark table plus "Deadlock").
+	Registry Registry
+	// Serve is the pool-scope option list for the front's serving pool —
+	// the shared options surface: sizing, tenant weights, deadline
+	// admission, base runtime options all configure here exactly as they
+	// would for a local serve.New.
+	Serve []serve.Option
+	// TraceCap is the event-log retention for sessions submitted with
+	// Trace; <= 0 selects 4096.
+	TraceCap int
+}
+
+// Front is the network serving front-end: it owns a listener, a serving
+// pool, and one goroutine per connection plus one per in-flight session
+// (the verdict waiter). New starts it; Shutdown drains it.
+type Front struct {
+	cfg  Config
+	reg  Registry
+	pool *serve.Pool
+	ln   net.Listener
+
+	mu       sync.Mutex
+	draining bool
+	conns    map[*frontConn]struct{}
+
+	connWG sync.WaitGroup // connection handler goroutines
+	sessWG sync.WaitGroup // verdict-waiter goroutines
+	// sessDone is closed by the last verdict waiter during a drain.
+	acceptDone chan struct{}
+}
+
+// frontConn is one authenticated client connection.
+type frontConn struct {
+	f      *Front
+	nc     net.Conn
+	fw     *frameWriter
+	tenant string
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelCauseFunc
+}
+
+// New creates a Front, binds its listener, and starts serving. The
+// returned Front is live: clients can connect immediately. Call
+// Shutdown to stop it; a Front holds its pool, listener, and goroutines
+// until then.
+func New(cfg Config) (*Front, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = DefaultRegistry()
+	}
+	if cfg.TraceCap <= 0 {
+		cfg.TraceCap = defaultTraceCap
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("front: listen %s: %w", cfg.Addr, err)
+	}
+	f := &Front{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		pool:       serve.New(cfg.Serve...),
+		ln:         ln,
+		conns:      make(map[*frontConn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (f *Front) Addr() string { return f.ln.Addr().String() }
+
+// Pool exposes the serving pool behind the front, for stats and
+// observation (serve.Pool.Stats / Observe).
+func (f *Front) Pool() *serve.Pool { return f.pool }
+
+func (f *Front) acceptLoop() {
+	defer close(f.acceptDone)
+	for {
+		nc, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed: drain underway
+		}
+		f.mu.Lock()
+		if f.draining {
+			f.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		c := &frontConn{f: f, nc: nc, fw: &frameWriter{w: nc}, inflight: make(map[uint64]context.CancelCauseFunc)}
+		f.conns[c] = struct{}{}
+		f.connWG.Add(1)
+		f.mu.Unlock()
+		if m := fmet(); m != nil {
+			m.connections.Inc()
+		}
+		go func() {
+			defer f.connWG.Done()
+			c.serve()
+			f.mu.Lock()
+			delete(f.conns, c)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// serve runs one connection: handshake, then the submit/cancel read
+// loop. Accept/reject frames are sent synchronously from this loop, so
+// they reach the client in submission order and always precede the
+// session's verdict frame (the verdict waiter can only start after the
+// accept has been written).
+func (c *frontConn) serve() {
+	defer c.nc.Close()
+	// When the read loop exits — client gone, or server cutting conns at
+	// the end of a drain — nobody is left to receive verdicts: cancel
+	// the conn's in-flight sessions so they do not run for a dead peer.
+	defer c.cancelAll(errors.New("front: connection closed"))
+
+	if err := c.handshake(); err != nil {
+		return
+	}
+	for {
+		typ, body, err := readFrame(c.nc)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameSubmit:
+			var req submitMsg
+			if err := decode(typ, body, &req); err != nil {
+				return // corrupt stream: cut the conn
+			}
+			c.handleSubmit(req)
+		case frameCancel:
+			var req cancelMsg
+			if err := decode(typ, body, &req); err != nil {
+				return
+			}
+			c.mu.Lock()
+			cancel := c.inflight[req.ID]
+			c.mu.Unlock()
+			if cancel != nil {
+				cancel(context.Canceled)
+			}
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+func (c *frontConn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	typ, body, err := readFrame(c.nc)
+	if err != nil {
+		return err
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	var hello helloMsg
+	if typ != frameHello || decode(typ, body, &hello) != nil {
+		return errors.New("front: expected hello")
+	}
+	if hello.Version != ProtocolVersion {
+		c.fw.send(frameHelloAck, helloAckMsg{
+			Version: ProtocolVersion,
+			Err:     fmt.Sprintf("unsupported protocol version %d (server speaks %d)", hello.Version, ProtocolVersion),
+		})
+		return errors.New("front: version skew")
+	}
+	tenant, ok := c.f.cfg.Keys[hello.Key]
+	if !ok {
+		c.fw.send(frameHelloAck, helloAckMsg{Version: ProtocolVersion, Err: "unknown API key"})
+		if m := fmet(); m != nil {
+			m.authFailures.Inc()
+		}
+		return errors.New("front: bad key")
+	}
+	c.tenant = tenant
+	return c.fw.send(frameHelloAck, helloAckMsg{Version: ProtocolVersion, Tenant: tenant})
+}
+
+// handleSubmit admits one wire submission into the pool and answers it
+// synchronously. Rejections carry the machine-readable reason the
+// metrics count; on acceptance a verdict waiter streams the outcome back
+// when the session completes.
+func (c *frontConn) handleSubmit(req submitMsg) {
+	f := c.f
+	reject := func(reason, detail string) {
+		if m := fmet(); m != nil {
+			m.rejected.With(reason).Inc()
+		}
+		c.fw.send(frameReject, rejectMsg{ID: req.ID, Reason: reason, Err: detail})
+	}
+	f.mu.Lock()
+	draining := f.draining
+	f.mu.Unlock()
+	if draining {
+		reject(RejectDraining, "server is draining")
+		return
+	}
+	prog, ok := f.reg[req.Workload]
+	if !ok {
+		reject(RejectUnknownWorkload, fmt.Sprintf("workload %q not registered", req.Workload))
+		return
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	if req.DeadlineMs > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithDeadline(ctx, time.Now().Add(time.Duration(req.DeadlineMs)*time.Millisecond))
+		origCancel := cancel
+		cancel = func(cause error) { tcancel(); origCancel(cause) }
+	}
+
+	opts := []serve.Option{serve.WithTenant(c.tenant)}
+	if req.Trace {
+		opts = append(opts, serve.WithRuntime(core.WithEventLog(f.cfg.TraceCap)))
+	}
+	name := fmt.Sprintf("%s/%s#%d", c.tenant, req.Workload, req.ID)
+	s, err := f.pool.Submit(ctx, name, prog(workloads.ParseScale(req.Scale)), opts...)
+	if err != nil {
+		cancel(err)
+		switch {
+		case errors.Is(err, serve.ErrDeadlineInfeasible):
+			reject(RejectDeadline, err.Error())
+		case errors.Is(err, serve.ErrPoolSaturated):
+			reject(RejectSaturated, err.Error())
+		case errors.Is(err, serve.ErrPoolClosed):
+			reject(RejectDraining, err.Error())
+		default:
+			reject(RejectSaturated, err.Error())
+		}
+		return
+	}
+	c.mu.Lock()
+	c.inflight[req.ID] = cancel
+	c.mu.Unlock()
+	if m := fmet(); m != nil {
+		m.submitted.Inc()
+	}
+	// Accept is written HERE, before the waiter exists, so it always
+	// precedes the verdict frame on the wire.
+	c.fw.send(frameAccept, acceptMsg{ID: req.ID})
+
+	f.sessWG.Add(1)
+	go func() {
+		defer f.sessWG.Done()
+		s.Wait()
+		v := verdictMsg{
+			ID:         req.ID,
+			Verdict:    s.Verdict().String(),
+			QueueMs:    s.QueueLatency().Milliseconds(),
+			DurationMs: s.Duration().Milliseconds(),
+		}
+		if err := s.Err(); err != nil {
+			v.Err = err.Error()
+		}
+		if req.Trace {
+			if rt := s.Runtime(); rt != nil {
+				v.Trace = []byte(rt.EventLog())
+			}
+		}
+		if m := fmet(); m != nil {
+			m.verdicts.With(v.Verdict).Inc()
+		}
+		c.mu.Lock()
+		delete(c.inflight, req.ID)
+		c.mu.Unlock()
+		cancel(nil) // release the deadline timer
+		c.fw.send(frameVerdict, v)
+	}()
+}
+
+// cancelAll cancels every in-flight session on the conn with cause.
+func (c *frontConn) cancelAll(cause error) {
+	c.mu.Lock()
+	cancels := make([]context.CancelCauseFunc, 0, len(c.inflight))
+	for _, cancel := range c.inflight {
+		cancels = append(cancels, cancel)
+	}
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel(cause)
+	}
+}
+
+// Shutdown drains the front gracefully: stop accepting connections and
+// submissions (new submits are rejected with reason "draining", and a
+// goaway frame tells connected clients), let in-flight sessions finish
+// until ctx expires, then cancel whatever remains, deliver every
+// verdict, cut the connections, and close the pool. When Shutdown
+// returns, every goroutine the front created — acceptor, connection
+// handlers, verdict waiters, the pool's sessions, the shared scheduler's
+// workers — has exited. Idempotent in effect; concurrent calls race
+// harmlessly on the same teardown.
+func (f *Front) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.draining = true
+	conns := make([]*frontConn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+
+	f.ln.Close()
+	<-f.acceptDone
+	for _, c := range conns {
+		c.fw.send(frameGoaway, goawayMsg{Reason: "draining"})
+	}
+
+	// Phase 1: wait for in-flight sessions to finish on their own, up to
+	// the caller's deadline.
+	done := make(chan struct{})
+	go func() { f.sessWG.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Phase 2: out of patience — cancel the stragglers by their
+		// session ctx (structured cancellation: they unwind and verdict
+		// as canceled) and wait for the verdicts to flush.
+		drainErr = ctx.Err()
+		for _, c := range conns {
+			c.cancelAll(fmt.Errorf("front: drain deadline: %w", context.Cause(ctx)))
+		}
+		<-done
+	}
+
+	// Every session has a verdict on the wire; now the conns can go.
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	f.connWG.Wait()
+	f.pool.Close()
+	return drainErr
+}

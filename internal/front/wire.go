@@ -1,0 +1,179 @@
+// Package front is the network serving front-end: a compact framed-TCP
+// protocol (and matching Go client) that exposes the in-process serving
+// pool — session submission by registered workload name, streamed
+// verdicts, deadline-aware admission, per-tenant weighted fairness — to
+// remote callers, keyed by per-tenant API keys.
+//
+// The wire format favors debuggability over density: every frame is a
+// 4-byte big-endian length, one frame-type byte, and a JSON body. JSON
+// keeps the protocol greppable in a packet capture and versionable by
+// field addition; the only hot number on this path is sessions per
+// second, which is control-plane scale, so framing overhead is noise
+// next to session execution. The version handshake (hello/helloAck)
+// pins the schema: a server refuses a client whose major version it
+// does not speak, instead of misparsing it.
+//
+// Frame flow, client's view:
+//
+//	C→S  hello{version, key}            once, first frame on the conn
+//	S→C  helloAck{version, tenant}      or errors and closes
+//	C→S  submit{id, workload, ...}      any time after the ack
+//	S→C  accept{id} | reject{id, ...}   synchronous answer, in order
+//	S→C  verdict{id, ...}               when the session completes
+//	C→S  cancel{id}                     best-effort, any time
+//	S→C  goaway{reason}                 server is draining; no new submits
+//
+// The submit id is chosen by the client and scopes the conversation: all
+// server frames about a session carry it back. Accept/reject are sent
+// from the read loop before the next submit is read, so they arrive in
+// submission order; verdicts arrive in completion order, interleaved.
+package front
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProtocolVersion is the wire schema version sent in the hello
+// handshake. Servers refuse clients with a different major version.
+const ProtocolVersion = 1
+
+// maxFrameBody bounds a frame's decoded length: nothing in the schema
+// legitimately approaches it, so anything larger is a corrupt stream or
+// a hostile peer, and the conn is cut rather than buffered.
+const maxFrameBody = 1 << 20
+
+// Frame types.
+const (
+	frameHello    byte = 1
+	frameHelloAck byte = 2
+	frameSubmit   byte = 3
+	frameAccept   byte = 4
+	frameReject   byte = 5
+	frameVerdict  byte = 6
+	frameCancel   byte = 7
+	frameGoaway   byte = 8
+)
+
+// helloMsg opens a connection: protocol version plus the tenant API key.
+type helloMsg struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+}
+
+// helloAckMsg accepts a connection and names the tenant the key mapped
+// to; a non-empty Err refuses it (bad key, version skew) and the server
+// closes the conn after sending.
+type helloAckMsg struct {
+	Version int    `json:"version"`
+	Tenant  string `json:"tenant,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// submitMsg asks for one session of a registered workload. DeadlineMs,
+// when positive, is a relative deadline the server turns into the
+// session ctx deadline (relative, not absolute, so clock skew between
+// client and server does not corrupt the budget). Trace requests the
+// session's retained event log back with the verdict.
+type submitMsg struct {
+	ID         uint64 `json:"id"`
+	Workload   string `json:"workload"`
+	Scale      string `json:"scale,omitempty"`
+	DeadlineMs int64  `json:"deadline_ms,omitempty"`
+	Trace      bool   `json:"trace,omitempty"`
+}
+
+// acceptMsg acknowledges admission: the session is queued or running.
+type acceptMsg struct {
+	ID uint64 `json:"id"`
+}
+
+// Reject reasons carried in rejectMsg.Reason.
+const (
+	RejectDeadline        = "deadline"         // deadline-aware admission shed it
+	RejectSaturated       = "saturated"        // tenant queue full
+	RejectDraining        = "draining"         // server is shutting down
+	RejectUnknownWorkload = "unknown_workload" // no such registry entry
+)
+
+// rejectMsg refuses a submit synchronously.
+type rejectMsg struct {
+	ID     uint64 `json:"id"`
+	Reason string `json:"reason"`
+	Err    string `json:"err,omitempty"`
+}
+
+// verdictMsg reports a completed session.
+type verdictMsg struct {
+	ID         uint64 `json:"id"`
+	Verdict    string `json:"verdict"`
+	Err        string `json:"err,omitempty"`
+	QueueMs    int64  `json:"queue_ms"`
+	DurationMs int64  `json:"duration_ms"`
+	Trace      []byte `json:"trace,omitempty"`
+}
+
+// cancelMsg asks the server to cancel a submitted session. Best-effort:
+// the session still completes with a verdict (normally "canceled").
+type cancelMsg struct {
+	ID uint64 `json:"id"`
+}
+
+// goawayMsg tells the client the server is draining: submits after it
+// are rejected, verdicts for in-flight sessions still arrive.
+type goawayMsg struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// frameWriter serializes frames onto one conn. Writes come from the read
+// loop (accept/reject, in order) and from per-session verdict waiters
+// (completion order), so every write takes the mutex — a frame is never
+// interleaved inside another.
+type frameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (fw *frameWriter) send(typ byte, msg any) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("front: marshal frame %d: %w", typ, err)
+	}
+	buf := make([]byte, 4+1+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[4] = typ
+	copy(buf[5:], body)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	_, err = fw.w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame. The caller owns read
+// deadlines on the underlying conn.
+func readFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameBody {
+		return 0, nil, fmt.Errorf("front: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// decode unmarshals a frame body, wrapping errors with the frame type.
+func decode(typ byte, body []byte, into any) error {
+	if err := json.Unmarshal(body, into); err != nil {
+		return fmt.Errorf("front: decode frame %d: %w", typ, err)
+	}
+	return nil
+}

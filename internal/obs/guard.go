@@ -1,0 +1,69 @@
+package obs
+
+import "sync"
+
+// LabelGuard bounds the cardinality of one label dimension of a metric
+// family. Label values that reach a CounterVec from outside the
+// operator's own configuration — caller-provided session names, tenant
+// names minted from network API keys — would otherwise let a remote
+// party grow the registry without bound (every distinct value is a new
+// series held for the life of the process). A LabelGuard admits the
+// first max distinct values verbatim and folds everything after them
+// into the single overflow value "other": the registry stays bounded at
+// max+1 series per guarded dimension no matter what arrives on the wire.
+//
+// Bound is cheap enough for per-session control-plane paths (one RLock
+// map hit once a value has been admitted) but is not meant for per-task
+// hot paths — resolve the bounded label once per session, like the
+// counters themselves.
+type LabelGuard struct {
+	mu   sync.RWMutex
+	max  int
+	seen map[string]struct{}
+}
+
+// LabelOverflow is the bucket every value beyond a guard's cap maps to.
+const LabelOverflow = "other"
+
+// NewLabelGuard creates a guard admitting at most max distinct values
+// (max <= 0 selects 32).
+func NewLabelGuard(max int) *LabelGuard {
+	if max <= 0 {
+		max = 32
+	}
+	return &LabelGuard{max: max, seen: make(map[string]struct{}, max)}
+}
+
+// Bound returns v if it is already admitted or capacity remains, and
+// LabelOverflow otherwise. Admission is first-come: the guard remembers
+// the values it let through, so a given v maps to the same label for the
+// life of the guard.
+func (g *LabelGuard) Bound(v string) string {
+	g.mu.RLock()
+	_, ok := g.seen[v]
+	full := len(g.seen) >= g.max
+	g.mu.RUnlock()
+	if ok {
+		return v
+	}
+	if full {
+		return LabelOverflow
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[v]; ok {
+		return v
+	}
+	if len(g.seen) >= g.max {
+		return LabelOverflow
+	}
+	g.seen[v] = struct{}{}
+	return v
+}
+
+// Admitted returns how many distinct values the guard has let through.
+func (g *LabelGuard) Admitted() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.seen)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelGuardCapAndOverflow(t *testing.T) {
+	g := NewLabelGuard(3)
+	for _, v := range []string{"a", "b", "c"} {
+		if got := g.Bound(v); got != v {
+			t.Fatalf("Bound(%q) = %q before cap", v, got)
+		}
+	}
+	if got := g.Bound("d"); got != LabelOverflow {
+		t.Fatalf("Bound(d) past cap = %q, want %q", got, LabelOverflow)
+	}
+	// Admitted values keep resolving to themselves after the cap fills.
+	if got := g.Bound("b"); got != "b" {
+		t.Fatalf("admitted value re-bound to %q", got)
+	}
+	if g.Admitted() != 3 {
+		t.Fatalf("Admitted = %d, want 3", g.Admitted())
+	}
+}
+
+// TestLabelGuardConcurrentStaysBounded hammers one guard from many
+// goroutines with an adversarial stream of distinct values (the network
+// API-key scenario) and asserts the admitted set never exceeds the cap
+// and every result is either an admitted value or the overflow bucket.
+func TestLabelGuardConcurrentStaysBounded(t *testing.T) {
+	const cap = 8
+	g := NewLabelGuard(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := fmt.Sprintf("tenant-%d-%d", w, i)
+				got := g.Bound(v)
+				if got != v && got != LabelOverflow {
+					t.Errorf("Bound(%q) = %q", v, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Admitted(); n > cap {
+		t.Fatalf("admitted %d distinct labels, cap %d", n, cap)
+	}
+}
+
+func TestLabelGuardDefaultCap(t *testing.T) {
+	g := NewLabelGuard(0)
+	for i := 0; i < 32; i++ {
+		v := fmt.Sprintf("t%d", i)
+		if got := g.Bound(v); got != v {
+			t.Fatalf("default cap admitted only %d", i)
+		}
+	}
+	if got := g.Bound("t32"); got != LabelOverflow {
+		t.Fatalf("default cap did not overflow at 32: %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlineInfeasible is the sentinel matched by errors.Is against the
+// typed DeadlineInfeasibleError Submit returns when deadline-aware
+// admission control sheds a session: less time remained before the ctx
+// deadline than the pool's observed queue-wait p99 plus execution p99.
+var ErrDeadlineInfeasible = errors.New("serve: deadline infeasible")
+
+// DeadlineInfeasibleError reports a deadline-shed Submit with the
+// numbers behind the decision, so a remote client (or its operator) can
+// distinguish "ask for more time" from "the pool is melting".
+// errors.Is(err, ErrDeadlineInfeasible) matches it.
+type DeadlineInfeasibleError struct {
+	Deadline  time.Time     // the ctx deadline that was judged unmeetable
+	Remaining time.Duration // time left at the admission decision
+	Need      time.Duration // queue-wait p99 + exec p99 from Pool.Observe
+}
+
+func (e *DeadlineInfeasibleError) Error() string {
+	return fmt.Sprintf("serve: deadline infeasible: %v remaining, need ~%v (queue-wait p99 + exec p99)",
+		e.Remaining.Round(time.Millisecond), e.Need.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrDeadlineInfeasible) true for this type.
+func (e *DeadlineInfeasibleError) Is(target error) bool {
+	return target == ErrDeadlineInfeasible
+}
+
+// admissionMinSamples is how many completed executions the window must
+// hold before deadline shedding activates. A cold pool has no latency
+// evidence; shedding on one or two outliers would reject real work on
+// noise, so until the window warms up every deadline is admissible.
+const admissionMinSamples = 16
+
+// admissible decides whether a Submit's ctx deadline can plausibly be
+// met: remaining time must cover the observed queue-wait p99 plus the
+// observed execution p99 from the pool's latency windows (the same
+// digest Pool.Observe serves). No deadline, or a still-cold window,
+// admits unconditionally. Called outside p.mu — window reads take their
+// own bucket locks.
+func (p *Pool) admissible(ctx context.Context) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	if p.execLat.Count() < admissionMinSamples {
+		return nil
+	}
+	need := p.queueWait.Quantile(0.99) + p.execLat.Quantile(0.99)
+	remaining := time.Until(dl)
+	if remaining < need {
+		return &DeadlineInfeasibleError{Deadline: dl, Remaining: remaining, Need: need}
+	}
+	return nil
+}

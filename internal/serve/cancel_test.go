@@ -125,7 +125,7 @@ func TestPerSessionRuntimeOptionOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lax, err := pool.Submit(t.Context(), "lax", omit, core.WithMode(core.Unverified))
+	lax, err := pool.Submit(t.Context(), "lax", omit, WithRuntime(core.WithMode(core.Unverified)))
 	if err != nil {
 		t.Fatal(err)
 	}

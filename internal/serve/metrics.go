@@ -6,21 +6,30 @@ import (
 	"repro/internal/obs"
 )
 
+// tenantLabelCap bounds the tenant label dimension of the per-tenant
+// metric families. Tenant names can originate outside the operator's
+// configuration — the network front maps API keys to tenants — so the
+// label space must not be attacker-growable; the guard folds everything
+// past the cap into obs.LabelOverflow.
+const tenantLabelCap = 64
+
 // serveMetrics is the serving layer's resolved metric set. The counter
 // sites are all control-plane (admission decisions, session completion),
 // so unlike core/sched the cost argument here is about cardinality, not
 // nanoseconds: per-class verdict counters are pre-resolved from the vec
-// at install, and the per-tenant family is keyed by the CALLER-PROVIDED
-// session name (sessions submitted without a name share the "default"
-// tenant), so the label space is exactly the set of names the operator
-// chose — never one series per session.
+// at install, and the per-tenant family is keyed by the session's
+// fairness tenant, bounded by a LabelGuard — never one series per
+// session, and never more than tenantLabelCap+1 series even when tenant
+// names arrive from the network.
 type serveMetrics struct {
-	submitted     *obs.Counter
-	rejected      *obs.Counter
-	inflight      *obs.Gauge
-	eventsDropped *obs.Counter
-	verdicts      [verdictCount]*obs.Counter
-	tenantVerdict *obs.CounterVec // labels: tenant, verdict
+	submitted      *obs.Counter
+	rejected       *obs.Counter
+	rejectedReason *obs.CounterVec // label: reason (saturated|deadline|closed|dead_ctx)
+	inflight       *obs.Gauge
+	eventsDropped  *obs.Counter
+	verdicts       [verdictCount]*obs.Counter
+	tenantVerdict  *obs.CounterVec // labels: tenant, verdict
+	tenantGuard    *obs.LabelGuard
 }
 
 var serveMet atomic.Pointer[serveMetrics]
@@ -34,11 +43,13 @@ func init() {
 			return
 		}
 		m := &serveMetrics{
-			submitted:     reg.Counter("serve_sessions_submitted_total"),
-			rejected:      reg.Counter("serve_sessions_rejected_total"),
-			inflight:      reg.Gauge("serve_sessions_inflight"),
-			eventsDropped: reg.Counter("serve_events_dropped_total"),
-			tenantVerdict: reg.CounterVec("serve_tenant_verdicts_total", "tenant", "verdict"),
+			submitted:      reg.Counter("serve_sessions_submitted_total"),
+			rejected:       reg.Counter("serve_sessions_rejected_total"),
+			rejectedReason: reg.CounterVec("serve_sessions_rejected_by_reason_total", "reason"),
+			inflight:       reg.Gauge("serve_sessions_inflight"),
+			eventsDropped:  reg.Counter("serve_events_dropped_total"),
+			tenantVerdict:  reg.CounterVec("serve_tenant_verdicts_total", "tenant", "verdict"),
+			tenantGuard:    obs.NewLabelGuard(tenantLabelCap),
 		}
 		vec := reg.CounterVec("serve_verdicts_total", "class")
 		for v := Verdict(0); v < verdictCount; v++ {
@@ -48,9 +59,19 @@ func init() {
 	})
 }
 
+// boundTenantLabel resolves a tenant name to its metric label through the
+// installed cardinality guard; with no registry installed the name passes
+// through (nothing records it).
+func boundTenantLabel(tenant string) string {
+	if m := pmet(); m != nil {
+		return m.tenantGuard.Bound(tenant)
+	}
+	return tenant
+}
+
 // countVerdict records a completed session's outcome, by class and by
-// tenant.
-func (m *serveMetrics) countVerdict(tenant string, v Verdict) {
+// (guard-bounded) tenant label.
+func (m *serveMetrics) countVerdict(tlabel string, v Verdict) {
 	m.verdicts[v].Inc()
-	m.tenantVerdict.With(tenant, v.String()).Inc()
+	m.tenantVerdict.With(tlabel, v.String()).Inc()
 }

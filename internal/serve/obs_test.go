@@ -165,10 +165,11 @@ func TestPoolObserveWindowedQuantiles(t *testing.T) {
 
 // TestServeMetricsRegistry drives the serving layer with a registry
 // installed and checks every serve_* family lands: submission/rejection
-// counters, the in-flight gauge returning to zero, per-class and
-// per-tenant verdict counters (caller-provided names only — unnamed
-// sessions share "default"), the latency windows (shared with
-// Pool.Observe by name), and the Prometheus rendering of all of it.
+// counters (total and by reason), the in-flight gauge returning to zero,
+// per-class and per-tenant verdict counters (fairness tenants only —
+// sessions submitted without WithTenant share "default"), the latency
+// windows (shared with Pool.Observe by name), and the Prometheus
+// rendering of all of it.
 func TestServeMetricsRegistry(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.Install(reg)
@@ -183,18 +184,22 @@ func TestServeMetricsRegistry(t *testing.T) {
 	})
 	defer pool.Close()
 
-	// One clean named session, one deadlock named session, one clean
-	// unnamed session (tenant "default").
+	// One clean and one deadlock session under tenant-a, one clean
+	// session without a tenant (lands in "default").
 	progs := []struct {
-		name string
-		fn   core.TaskFunc
+		tenant string
+		fn     core.TaskFunc
 	}{
 		{"tenant-a", core.TaskFunc(cleanProg)},
 		{"tenant-a", deadlockProg},
 		{"", core.TaskFunc(cleanProg)},
 	}
 	for i, pr := range progs {
-		s, err := pool.Submit(t.Context(), pr.name, pr.fn)
+		var opts []Option
+		if pr.tenant != "" {
+			opts = append(opts, WithTenant(pr.tenant))
+		}
+		s, err := pool.Submit(t.Context(), pr.tenant, pr.fn, opts...)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -213,6 +218,10 @@ func TestServeMetricsRegistry(t *testing.T) {
 	}
 	if got := snap.Counters["serve_sessions_rejected_total"]; got != 1 {
 		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	reasons := snap.Vectors["serve_sessions_rejected_by_reason_total"]
+	if got := reasons["reason=dead_ctx"]; got != 1 {
+		t.Errorf("rejected reason dead_ctx = %d, want 1 (vec: %v)", got, reasons)
 	}
 	if got := snap.Gauges["serve_sessions_inflight"]; got != 0 {
 		t.Errorf("inflight gauge = %d after drain, want 0", got)

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Option configures serving behaviour. One option family covers both
+// scopes of the serving API:
+//
+//   - Pool scope: New(opts...) — every option applies; sizing options
+//     (WithMaxSessions, WithQueueDepth, WithIdleTimeout, WithTenantWeight)
+//     fix the pool's admission geometry for its lifetime.
+//   - Submit scope: Pool.Submit(ctx, name, main, opts...) — the
+//     per-session options (WithRuntime, WithTenant, WithDeadlineAdmission)
+//     override their pool-scope counterparts for that session alone;
+//     submit wins. Pool-sizing options are inert at submit scope: a
+//     session cannot resize the pool it is entering.
+//
+// Precedence, lowest to highest: built-in defaults < pool scope < submit
+// scope; within WithRuntime's core.Option list the usual later-wins rule
+// applies, and the submit-scope list lands after the pool-scope list, so
+// a per-session core option overrides the pool's base. The executor
+// injection is always appended last by the pool — sessions run on the
+// shared scheduler by construction, at either scope.
+// TestOptionPrecedenceTable pins this table.
+type Option func(*options)
+
+// options is the resolved option state. The Config part is only
+// meaningful at pool scope; the submit part rides on top at either scope
+// (at pool scope it sets the pool-wide default).
+type options struct {
+	cfg       Config
+	runtime   []core.Option
+	tenant    string
+	admission *bool
+}
+
+func (o *options) apply(opts []Option) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+}
+
+// WithMaxSessions bounds how many sessions run concurrently (pool scope;
+// <= 0 selects the default of 8).
+func WithMaxSessions(n int) Option {
+	return func(o *options) { o.cfg.MaxSessions = n }
+}
+
+// WithQueueDepth bounds how many admitted-but-waiting sessions may queue
+// PER TENANT behind the running ones (pool scope). 0 queues nothing:
+// saturate-and-reject. The bound is per tenant so one backlogged tenant
+// cannot monopolize the waiting room and starve the others' admission —
+// the queue-side half of the WDRR fairness story.
+func WithQueueDepth(n int) Option {
+	return func(o *options) { o.cfg.QueueDepth = n }
+}
+
+// WithIdleTimeout sets the shared scheduler's worker idle timeout (pool
+// scope; zero selects sched.NewElastic's default).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.cfg.IdleTimeout = d }
+}
+
+// WithTenantWeight sets a tenant's weighted-fair share (pool scope;
+// minimum 1, the default for any tenant never named). While several
+// tenants have sessions waiting, admission slots are granted in weighted
+// deficit round-robin order: a weight-3 tenant is admitted three
+// sessions for every one of a weight-1 tenant.
+func WithTenantWeight(tenant string, weight int) Option {
+	return func(o *options) {
+		if o.cfg.TenantWeights == nil {
+			o.cfg.TenantWeights = make(map[string]int)
+		}
+		o.cfg.TenantWeights[tenant] = weight
+	}
+}
+
+// WithRuntime appends core options to the session runtime's option list.
+// At pool scope this is the base every session starts from; at submit
+// scope the options are appended after the pool's base, so a
+// per-session option overrides the pool's (later core.Option wins).
+func WithRuntime(opts ...core.Option) Option {
+	return func(o *options) { o.runtime = append(o.runtime, opts...) }
+}
+
+// WithTenant names the fairness tenant a session is accounted and
+// queued under. At pool scope it sets the default tenant for sessions
+// submitted without one ("default" otherwise); at submit scope it
+// overrides that default. The tenant decides the session's WDRR queue,
+// its weight, and its label on the per-tenant metrics (bounded by the
+// cardinality guard — see internal/obs.LabelGuard).
+func WithTenant(name string) Option {
+	return func(o *options) { o.tenant = name }
+}
+
+// WithDeadlineAdmission toggles deadline-aware admission control. When
+// enabled, a Submit whose ctx deadline cannot be met — less time remains
+// than the pool's observed queue-wait p99 plus execution p99
+// (Pool.Observe) — is rejected synchronously with ErrDeadlineInfeasible
+// instead of being admitted to miss its deadline in the queue. Pool
+// scope sets the default; submit scope overrides it per session (submit
+// wins), e.g. to force one critical request through a shedding pool.
+func WithDeadlineAdmission(on bool) Option {
+	return func(o *options) { o.admission = &on }
+}
+
+// New creates a serving pool from the unified option surface. It is
+// equivalent to NewPool with the corresponding Config — Config remains
+// the resolved, documented form of the pool-scope options, and the
+// struct literal is still accepted where construction is data-driven.
+func New(opts ...Option) *Pool {
+	var o options
+	o.apply(opts)
+	cfg := o.cfg
+	cfg.Runtime = append(cfg.Runtime, o.runtime...)
+	if o.tenant != "" {
+		cfg.DefaultTenant = o.tenant
+	}
+	if o.admission != nil {
+		cfg.DeadlineAdmission = *o.admission
+	}
+	return NewPool(cfg)
+}

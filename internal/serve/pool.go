@@ -15,19 +15,30 @@
 // and the paper's §6.3 unbounded-growth requirement holds globally, so one
 // session's blocked tasks can never starve another's.
 //
-// Admission is two-stage: at most MaxSessions sessions run concurrently,
-// at most QueueDepth more wait for a slot, and anything beyond that is
-// rejected synchronously with ErrPoolSaturated — the caller, not the pool,
-// owns retry policy. Every Submit carries a context covering the whole
-// session: the admission wait (a queued session whose ctx ends aborts
-// without running) and the execution (a running session is cancelled
-// through the runtime's structured-cancellation scope); either way it
-// completes with VerdictCanceled. Shutdown is ordered: Close stops
-// admission, promptly fails still-queued sessions with ErrPoolClosed,
-// drains running sessions, then closes the shared scheduler, which
-// itself blocks until every worker and the cleaner goroutine have exited.
-// After Close returns the pool has provably released every goroutine it
-// created (the race tests assert this against runtime.NumGoroutine).
+// Admission is two-stage and QoS-aware: at most MaxSessions sessions run
+// concurrently; behind them, waiting sessions queue PER FAIRNESS TENANT
+// (at most QueueDepth each), and freed slots are granted across the
+// tenant queues in weighted deficit round-robin order (sched.FairQueue),
+// so a backlogged heavy tenant cannot starve a light one — each tenant's
+// admission rate tracks its configured weight while it stays backlogged.
+// Anything beyond a tenant's queue bound is rejected synchronously with
+// ErrPoolSaturated — the caller, not the pool, owns retry policy. With
+// deadline-aware admission enabled, a Submit whose ctx deadline cannot
+// be met from the pool's own observed latency windows is rejected with
+// ErrDeadlineInfeasible instead of being queued to fail: shedding at the
+// door is cheaper than a cancellation mid-queue, and the signal
+// (Pool.Observe) is the same windowed p99 the operator dashboards.
+//
+// Every Submit carries a context covering the whole session: the
+// admission wait (a queued session whose ctx ends aborts without
+// running) and the execution (a running session is cancelled through the
+// runtime's structured-cancellation scope); either way it completes with
+// VerdictCanceled. Shutdown is ordered: Close stops admission, promptly
+// fails still-queued sessions with ErrPoolClosed, drains running
+// sessions, then closes the shared scheduler, which itself blocks until
+// every worker and the cleaner goroutine have exited. After Close
+// returns the pool has provably released every goroutine it created (the
+// race tests assert this against runtime.NumGoroutine).
 package serve
 
 import (
@@ -45,21 +56,29 @@ import (
 )
 
 // ErrPoolSaturated is returned by Submit when MaxSessions sessions are
-// running and the wait queue is full.
+// running and the submitting tenant's wait queue is full.
 var ErrPoolSaturated = errors.New("serve: pool saturated")
 
 // ErrPoolClosed is returned by Submit after Close has been called.
 var ErrPoolClosed = errors.New("serve: pool closed")
 
-// Config configures a Pool. The zero value is usable: 8 concurrent
-// sessions, no queue, default scheduler idle timeout, Full verification.
+// DefaultTenant is the fairness tenant of sessions submitted without an
+// explicit WithTenant.
+const DefaultTenant = "default"
+
+// Config is the resolved form of the pool-scope options (see Option for
+// the functional surface; New and NewPool build identical pools). The
+// zero value is usable: 8 concurrent sessions, no queue, default
+// scheduler idle timeout, Full verification, one "default" tenant.
 type Config struct {
 	// MaxSessions is the number of sessions allowed to run concurrently.
 	// <= 0 selects 8.
 	MaxSessions int
 	// QueueDepth is how many admitted-but-waiting sessions may be parked
-	// behind the running ones before Submit starts rejecting. 0 means
-	// queue nothing: saturate-and-reject.
+	// PER FAIRNESS TENANT behind the running ones before Submit starts
+	// rejecting that tenant. 0 means queue nothing: saturate-and-reject.
+	// The bound is per tenant so one backlogged tenant cannot fill the
+	// waiting room and deny the others admission.
 	QueueDepth int
 	// IdleTimeout is the shared scheduler's worker idle timeout
 	// (sched.NewElastic); zero selects that constructor's default.
@@ -69,33 +88,64 @@ type Config struct {
 	// injection last, so a WithExecutor here or at Submit is overridden —
 	// sessions run on the shared pool by construction.
 	Runtime []core.Option
+	// TenantWeights are the WDRR weights of the fairness tenants (see
+	// WithTenantWeight). Tenants absent from the map weigh 1.
+	TenantWeights map[string]int
+	// DeadlineAdmission enables deadline-aware admission control (see
+	// WithDeadlineAdmission); per-Submit options override it.
+	DeadlineAdmission bool
+	// DefaultTenant is the fairness tenant of sessions submitted without
+	// WithTenant; empty selects "default".
+	DefaultTenant string
 }
 
-// Pool runs sessions. Create with NewPool, submit with Submit, shut down
-// with Close.
+// pendState is a queued session's admission outcome, guarded by Pool.mu.
+type pendState uint8
+
+const (
+	pendQueued   pendState = iota // waiting in its tenant's FIFO
+	pendAdmitted                  // granted a slot by the WDRR dispatch
+	pendAborted                   // ctx ended or pool closed while queued
+)
+
+// pending is one session waiting for admission: an entry in its tenant's
+// fair queue plus the channel the dispatcher closes to grant it a slot.
+// Aborted entries stay in the queue (removal from a FIFO's middle is
+// O(n)) and are skipped by the dispatcher; the live count lives in
+// Pool.queued / Pool.tenantQueued.
+type pending struct {
+	s      *Session
+	tenant string
+	state  pendState
+	admit  chan struct{}
+}
+
+// Pool runs sessions. Create with New (options) or NewPool (resolved
+// Config), submit with Submit, shut down with Close.
 type Pool struct {
 	cfg  Config
 	exec *sched.Elastic
-
-	// slots is the running-session semaphore: buffer size MaxSessions.
-	slots chan struct{}
 
 	// closeCh is closed by the first Close, BEFORE the drain: queued
 	// sessions blocked waiting for a slot select on it and abort promptly
 	// with ErrPoolClosed instead of riding out the whole drain.
 	closeCh chan struct{}
 
-	mu      sync.Mutex
-	closed  bool
-	waiting int // sessions admitted to the queue, not yet holding a slot
-	drain   sync.WaitGroup
+	mu           sync.Mutex
+	closed       bool
+	running      int                        // sessions holding a slot
+	fq           *sched.FairQueue[*pending] // per-tenant FIFOs, WDRR dispatch
+	queued       int                        // live queued sessions, all tenants
+	tenantQueued map[string]int             // live queued per tenant (saturation bound)
+	drain        sync.WaitGroup
 
-	nextID    atomic.Uint64
-	submitted atomic.Int64
-	rejected  atomic.Int64
-	completed atomic.Int64
-	inflight  atomic.Int64
-	peak      atomic.Int64
+	nextID           atomic.Uint64
+	submitted        atomic.Int64
+	rejected         atomic.Int64
+	rejectedDeadline atomic.Int64
+	completed        atomic.Int64
+	inflight         atomic.Int64
+	peak             atomic.Int64
 
 	verdicts [verdictCount]atomic.Int64
 	tasksRun atomic.Int64
@@ -106,12 +156,15 @@ type Pool struct {
 	// sessions. Always present — Observe works with no registry
 	// installed — but when one IS installed at NewPool time the windows
 	// are the registry's named recorders, so the scrape endpoint and
-	// Observe read the same buckets.
+	// Observe read the same buckets. Deadline-aware admission consumes
+	// the same windows: reject iff remaining < queueWait.p99 + exec.p99.
 	queueWait *obs.Window
 	execLat   *obs.Window
 }
 
-// NewPool creates a serving pool with its own shared scheduler.
+// NewPool creates a serving pool with its own shared scheduler from a
+// resolved Config. New(opts...) is the functional-options form of the
+// same constructor.
 func NewPool(cfg Config) *Pool {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 8
@@ -119,11 +172,18 @@ func NewPool(cfg Config) *Pool {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = DefaultTenant
+	}
 	p := &Pool{
-		cfg:     cfg,
-		exec:    sched.NewElastic(cfg.IdleTimeout),
-		slots:   make(chan struct{}, cfg.MaxSessions),
-		closeCh: make(chan struct{}),
+		cfg:          cfg,
+		exec:         sched.NewElastic(cfg.IdleTimeout),
+		closeCh:      make(chan struct{}),
+		fq:           sched.NewFairQueue[*pending](),
+		tenantQueued: make(map[string]int),
+	}
+	for tenant, w := range cfg.TenantWeights {
+		p.fq.SetWeight(tenant, w)
 	}
 	if reg := obs.Installed(); reg != nil {
 		// Geometry args are only honored by the first creator; a second
@@ -146,123 +206,197 @@ func NewPool(cfg Config) *Pool {
 // session completes with VerdictCanceled. A nil ctx means no caller-side
 // cancellation (context.Background).
 //
-// The session's runtime is built from the pool's base options
-// (Config.Runtime), then opts — so a later option overrides an earlier
-// one and every base option can be overridden per session — and finally
-// the pool's shared-executor injection. Submit never blocks on session
-// execution: if a slot is free the session starts right away; if the
-// queue has room it waits for a slot in the background; otherwise Submit
-// fails fast with ErrPoolSaturated.
-func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts ...core.Option) (*Session, error) {
+// opts are submit-scope serving options: WithRuntime appends core
+// options after the pool's base list (so a per-session option wins),
+// WithTenant picks the fairness tenant (queueing, WDRR weight, metrics
+// label), and WithDeadlineAdmission overrides the pool's admission-check
+// default for this session. Submit never blocks on session execution: if
+// a slot is free and no one is waiting, the session starts right away;
+// if its tenant's queue has room it waits for a WDRR admission grant in
+// the background; otherwise Submit fails fast — ErrPoolSaturated on a
+// full tenant queue, ErrDeadlineInfeasible when admission control
+// computes the ctx deadline cannot be met.
+func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts ...Option) (*Session, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var o options
+	o.apply(opts)
 	if ctx.Err() != nil {
 		// Dead on arrival: fail synchronously, like a closed pool.
-		p.reject()
+		p.reject(rejectDeadCtx)
 		return nil, context.Cause(ctx)
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		p.reject()
-		return nil, ErrPoolClosed
+	admission := p.cfg.DeadlineAdmission
+	if o.admission != nil {
+		admission = *o.admission
 	}
-	queued := false
-	select {
-	case p.slots <- struct{}{}: // slot free: run immediately
-	default:
-		if p.waiting >= p.cfg.QueueDepth {
-			p.mu.Unlock()
-			p.reject()
-			return nil, ErrPoolSaturated
+	if admission {
+		if err := p.admissible(ctx); err != nil {
+			p.reject(rejectDeadline)
+			p.rejectedDeadline.Add(1)
+			return nil, err
 		}
-		p.waiting++
-		queued = true
 	}
-	p.drain.Add(1)
-	p.mu.Unlock()
+	tenant := o.tenant
+	if tenant == "" {
+		tenant = p.cfg.DefaultTenant
+	}
 
 	id := p.nextID.Add(1)
-	// The metrics tenant label is the caller-provided name only:
-	// generated per-session names would mint one series per session.
-	tenantLabel := name
-	if tenantLabel == "" {
-		tenantLabel = "default"
-	}
 	if name == "" {
 		name = fmt.Sprintf("session-%d", id)
 	}
-	tenant := p.exec.Tenant(name)
+	st := p.exec.Tenant(name)
 	s := &Session{
 		pool:     p,
 		id:       id,
 		name:     name,
-		tlabel:   tenantLabel,
-		ctx:      ctx,
 		tenant:   tenant,
+		tlabel:   boundTenantLabel(tenant),
+		ctx:      ctx,
+		tenantAc: st,
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
-		runtimeOpts: append(append(append([]core.Option{}, p.cfg.Runtime...), opts...),
-			core.WithExecutor(tenant.Execute),
-			core.WithBatchExecutor(tenant.ExecuteBatch)),
+		runtimeOpts: append(append(append(append([]core.Option{}, p.cfg.Runtime...), o.runtime...),
+			core.WithExecutor(st.Execute)),
+			core.WithBatchExecutor(st.ExecuteBatch)),
 	}
+
+	var pend *pending
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.reject(rejectClosed)
+		return nil, ErrPoolClosed
+	}
+	if p.running < p.cfg.MaxSessions && p.queued == 0 {
+		p.running++ // slot free, nobody waiting: run immediately
+	} else if p.tenantQueued[tenant] < p.cfg.QueueDepth {
+		pend = &pending{s: s, tenant: tenant, admit: make(chan struct{})}
+		p.fq.Push(tenant, pend)
+		p.queued++
+		p.tenantQueued[tenant]++
+	} else {
+		p.mu.Unlock()
+		p.reject(rejectSaturated)
+		return nil, ErrPoolSaturated
+	}
+	p.drain.Add(1)
+	p.mu.Unlock()
+
 	p.submitted.Add(1)
 	if m := pmet(); m != nil {
 		m.submitted.Inc()
 	}
-	go p.runSession(s, main, queued)
+	go p.runSession(s, main, pend)
 	return s, nil
 }
 
-// reject accounts a synchronous Submit rejection (dead ctx, closed,
-// saturated).
-func (p *Pool) reject() {
+// rejection reasons, for the serve_sessions_rejected_total{reason} family.
+const (
+	rejectSaturated = "saturated"
+	rejectDeadline  = "deadline"
+	rejectClosed    = "closed"
+	rejectDeadCtx   = "dead_ctx"
+)
+
+// reject accounts a synchronous Submit rejection.
+func (p *Pool) reject(reason string) {
 	p.rejected.Add(1)
 	if m := pmet(); m != nil {
 		m.rejected.Inc()
+		m.rejectedReason.With(reason).Inc()
 	}
 }
 
-// runSession is the session's supervising goroutine: acquire a slot if the
-// session was queued, build the isolated runtime, run the program, record
-// the verdict, release the slot. A queued session stops waiting the
-// moment its ctx ends or the pool starts closing — it then completes with
-// VerdictCanceled without ever running.
-func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
+// dispatchLocked grants freed slots to waiting sessions in WDRR order.
+// Caller holds p.mu. Aborted entries are skipped (their supervising
+// goroutines already completed them); a closed pool grants nothing —
+// Close fails the whole queue itself.
+func (p *Pool) dispatchLocked() {
+	if p.closed {
+		return
+	}
+	for p.running < p.cfg.MaxSessions {
+		e, ok := p.fq.Pop()
+		if !ok {
+			return
+		}
+		if e.state != pendQueued {
+			continue
+		}
+		e.state = pendAdmitted
+		p.queued--
+		p.tenantQueued[e.tenant]--
+		p.running++
+		close(e.admit)
+	}
+}
+
+// abortQueued moves a still-queued entry to aborted and returns err; if
+// the WDRR dispatch admitted it first, returns nil — the session holds a
+// slot and must run (its dead ctx will cancel it immediately).
+func (p *Pool) abortQueued(e *pending, err error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.state != pendQueued {
+		return nil
+	}
+	e.state = pendAborted
+	p.queued--
+	p.tenantQueued[e.tenant]--
+	return err
+}
+
+// releaseSlot returns a finished session's slot and hands it to the next
+// waiting session in WDRR order.
+func (p *Pool) releaseSlot() {
+	p.mu.Lock()
+	p.running--
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// runSession is the session's supervising goroutine: wait for a WDRR
+// admission grant if the session was queued, build the isolated runtime,
+// run the program, record the verdict, release the slot. A queued
+// session stops waiting the moment its ctx ends or the pool starts
+// closing — it then completes with VerdictCanceled without ever running.
+func (p *Pool) runSession(s *Session, main core.TaskFunc, pend *pending) {
 	defer p.drain.Done()
-	if queued {
+	if pend != nil {
 		var aborted error
 		// Check the close signal on its own first: if Close already ran,
-		// abort deterministically even when a slot happens to be free.
+		// abort deterministically even when a grant happens to be pending.
 		select {
 		case <-p.closeCh:
-			aborted = ErrPoolClosed
+			aborted = p.abortQueued(pend, ErrPoolClosed)
 		default:
 			select {
-			case p.slots <- struct{}{}: // blocks until a running session releases
-				// Won a slot — but if Close landed concurrently the select
-				// may have picked this arm over closeCh at random. Re-check
-				// and hand the slot back: a queued session must not start
-				// work after shutdown began.
-				select {
-				case <-p.closeCh:
-					<-p.slots
-					aborted = ErrPoolClosed
-				default:
-				}
+			case <-pend.admit: // granted a slot by dispatchLocked
 			case <-s.ctx.Done():
-				aborted = &core.CanceledError{Cause: context.Cause(s.ctx)}
+				aborted = p.abortQueued(pend, &core.CanceledError{Cause: context.Cause(s.ctx)})
 			case <-p.closeCh:
-				aborted = ErrPoolClosed
+				aborted = p.abortQueued(pend, ErrPoolClosed)
 			}
 		}
-		p.mu.Lock()
-		p.waiting--
-		p.mu.Unlock()
 		if aborted != nil {
 			p.finishUnrun(s, aborted)
 			return
+		}
+		// Admitted — but if Close landed concurrently the select may have
+		// picked the grant over closeCh at random. Re-check and hand the
+		// slot back: a queued session must not start work after shutdown
+		// began.
+		select {
+		case <-p.closeCh:
+			p.mu.Lock()
+			p.running--
+			p.mu.Unlock()
+			p.finishUnrun(s, ErrPoolClosed)
+			return
+		default:
 		}
 	}
 	cur := p.inflight.Add(1)
@@ -307,7 +441,7 @@ func (p *Pool) runSession(s *Session, main core.TaskFunc, queued bool) {
 	// goroutine for it and get a spurious ErrPoolSaturated. The inflight
 	// decrement above precedes the release, so Peak can never read above
 	// MaxSessions.
-	<-p.slots
+	p.releaseSlot()
 	close(s.done)
 }
 
@@ -329,7 +463,7 @@ func (p *Pool) finishUnrun(s *Session, err error) {
 }
 
 // Close stops admission, promptly fails every session still waiting in
-// the admission queue with ErrPoolClosed (VerdictCanceled — queued work
+// the admission queues with ErrPoolClosed (VerdictCanceled — queued work
 // does NOT ride out the drain), waits for every running session to
 // finish, and then shuts down the shared scheduler (which blocks until
 // all of its workers and its cleaner goroutine have exited). Idempotent;
@@ -375,11 +509,14 @@ func (p *Pool) Observe() Observation {
 // PoolStats is a snapshot of the pool's aggregate accounting.
 type PoolStats struct {
 	Submitted int64 `json:"submitted"` // accepted sessions (running, queued, or done)
-	Rejected  int64 `json:"rejected"`  // saturated or closed rejections
-	Completed int64 `json:"completed"`
-	InFlight  int64 `json:"in_flight"`
-	Waiting   int64 `json:"waiting"`
-	Peak      int64 `json:"peak_in_flight"`
+	Rejected  int64 `json:"rejected"`  // all synchronous rejections
+	// RejectedDeadline counts the subset of Rejected shed by
+	// deadline-aware admission (ErrDeadlineInfeasible).
+	RejectedDeadline int64 `json:"rejected_deadline"`
+	Completed        int64 `json:"completed"`
+	InFlight         int64 `json:"in_flight"`
+	Waiting          int64 `json:"waiting"`
+	Peak             int64 `json:"peak_in_flight"`
 
 	// Per-verdict counts over completed sessions. Canceled counts both
 	// sessions cancelled mid-execution (their ctx ended) and sessions
@@ -409,12 +546,13 @@ type PoolStats struct {
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	waiting := int64(p.waiting)
+	waiting := int64(p.queued)
 	p.mu.Unlock()
 	ss := p.exec.SchedStats()
 	return PoolStats{
 		Submitted:        p.submitted.Load(),
 		Rejected:         p.rejected.Load(),
+		RejectedDeadline: p.rejectedDeadline.Load(),
 		Completed:        p.completed.Load(),
 		InFlight:         p.inflight.Load(),
 		Waiting:          waiting,

@@ -82,14 +82,36 @@ func Classify(err error) Verdict {
 	return VerdictFailed
 }
 
-// Session is one submitted program. The handle is returned by Submit
-// before the program runs; Wait blocks until it has finished. All other
-// accessors are valid only after Wait (or a receive from Done) returns.
+// SessionHandle is the transport-neutral view of one submitted session.
+// *Session (local, from Pool.Submit) and the front-end's remote session
+// handle both implement it, so callers — the load generator, operator
+// tooling — can drive a session the same way whether it runs in-process
+// or across the framed-TCP front. Accessors other than ID, Name, Tenant
+// and Done are valid only after Wait (or a receive from Done) returns.
+type SessionHandle interface {
+	ID() uint64
+	Name() string
+	Tenant() string
+	Done() <-chan struct{}
+	Wait() error
+	Err() error
+	Verdict() Verdict
+	QueueLatency() time.Duration
+	Duration() time.Duration
+}
+
+var _ SessionHandle = (*Session)(nil)
+
+// Session is one submitted program, the local SessionHandle. The handle
+// is returned by Submit before the program runs; Wait blocks until it
+// has finished. All other accessors are valid only after Wait (or a
+// receive from Done) returns.
 type Session struct {
 	pool   *Pool
 	id     uint64
 	name   string
-	tlabel string // metrics tenant label: caller-provided name, or "default"
+	tenant string // fairness tenant (WithTenant, or the pool default)
+	tlabel string // tenant as bounded for metric labels (obs.LabelGuard)
 
 	// ctx is the session's cancellation scope, covering both the
 	// admission-queue wait and the execution (Runtime.RunContext).
@@ -97,7 +119,7 @@ type Session struct {
 
 	runtimeOpts []core.Option
 	rt          *core.Runtime
-	tenant      *sched.Tenant
+	tenantAc    *sched.Tenant // shared-scheduler accounting view
 
 	queuedAt   time.Time
 	startedAt  time.Time
@@ -114,6 +136,10 @@ func (s *Session) ID() uint64 { return s.id }
 
 // Name returns the session's diagnostic name.
 func (s *Session) Name() string { return s.name }
+
+// Tenant returns the fairness tenant the session was queued and
+// accounted under.
+func (s *Session) Tenant() string { return s.tenant }
 
 // Done returns a channel closed when the session has finished.
 func (s *Session) Done() <-chan struct{} { return s.done }
@@ -171,7 +197,7 @@ func (s *Session) Runtime() *core.Runtime {
 // write — though a mid-run read is, necessarily, already stale when it
 // returns.
 func (s *Session) SchedStats() (submitted, inflight int64) {
-	return s.tenant.Stats()
+	return s.tenantAc.Stats()
 }
 
 // QueueLatency is how long the session waited for admission before its

@@ -92,10 +92,11 @@ type verifier struct {
 	ownedBy   map[uint64]map[uint64]bool // task -> unfulfilled owned promises
 	waiting   map[uint64]uint64          // task -> promise (policy-checked Get)
 	// timedWait tracks blocks with detail "timed" — the PRE-ctx-redesign
-	// GetTimeout, which left no detector edge. Current runtimes emit no
-	// such records (GetTimeout now blocks like any policy-checked wait
-	// and closes with a "cancel" wake); the branch remains so traces
-	// recorded before the redesign still verify.
+	// timed wait (the since-removed GetTimeout), which left no detector
+	// edge. Current runtimes emit no such records (a bounded wait is a
+	// deadline ctx over GetContext: it blocks like any policy-checked
+	// wait and closes with a "cancel" wake); the branch remains so
+	// traces recorded before the redesign still verify.
 	timedWait map[uint64]uint64 // task -> promise (legacy timed wait)
 	started   map[uint64]bool
 	ended     map[uint64]bool
