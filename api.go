@@ -308,6 +308,31 @@ type (
 	RemoteSession = front.RemoteSession
 	// RemoteError is a session error reconstructed from the wire.
 	RemoteError = front.RemoteError
+
+	// Fault-tolerant client surface: retrying, reconnecting,
+	// breaker-gated multi-endpoint submission.
+
+	// FrontDialOptions tunes a FrontClient connection: write deadline,
+	// heartbeat cadence and miss tolerance, dial timeout.
+	FrontDialOptions = front.DialOptions
+	// FrontRetryPolicy bounds what a ResilientFrontClient may retry:
+	// attempt cap, full-jitter backoff, client-wide retry budget, and
+	// the per-endpoint circuit-breaker thresholds.
+	FrontRetryPolicy = front.RetryPolicy
+	// ResilientFrontClient submits across multiple endpoints with
+	// typed-error retry classification, automatic reconnect, failover
+	// and per-endpoint circuit breakers. Accepted sessions are never
+	// resubmitted, so verdicts stay exactly-once.
+	ResilientFrontClient = front.ResilientClient
+	// FrontBreakerState is a circuit breaker's position (closed, open,
+	// half-open).
+	FrontBreakerState = front.BreakerState
+	// FrontClientStats counts a client's missed heartbeats and
+	// unmatched verdict frames.
+	FrontClientStats = front.ClientStats
+	// SpilledVerdict is a verdict the server could not deliver to a
+	// slow or dead client; Front.Spilled returns the retained log.
+	SpilledVerdict = front.SpilledVerdict
 )
 
 var (
@@ -315,9 +340,27 @@ var (
 	NewFront = front.New
 	// DialFront connects and authenticates a FrontClient.
 	DialFront = front.Dial
+	// DialFrontOpts is DialFront with explicit DialOptions (write
+	// deadline, heartbeats, dial timeout).
+	DialFrontOpts = front.DialOpts
+	// DialFrontResilient builds a ResilientFrontClient over a set of
+	// endpoints under a FrontRetryPolicy.
+	DialFrontResilient = front.DialResilient
 	// DefaultFrontRegistry is the standard workload registry (the
 	// benchmark table plus the Listing 1 "Deadlock" probe).
 	DefaultFrontRegistry = front.DefaultRegistry
+
+	// ErrFrontRetryBudget is the terminal error once a resilient
+	// client's retry budget is exhausted.
+	ErrFrontRetryBudget = front.ErrRetryBudget
+	// ErrFrontHeartbeat reports a connection declared dead after
+	// consecutive unanswered heartbeats.
+	ErrFrontHeartbeat = front.ErrHeartbeat
+	// ErrFrontWriteTimeout reports a frame write that missed its
+	// deadline (slow peer).
+	ErrFrontWriteTimeout = front.ErrWriteTimeout
+	// ErrFrontRefused reports an authentication rejection at dial.
+	ErrFrontRefused = front.ErrRefused
 )
 
 // Observability surface (see internal/obs): a process-wide metrics

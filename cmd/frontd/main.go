@@ -9,7 +9,9 @@
 //
 //	frontd [-addr host:port] [-keys key=tenant[:weight],...]
 //	       [-sessions N] [-queue N] [-mode full|ownership|unverified]
-//	       [-admission] [-trace-cap N] [-metrics addr] [-drain dur] [-v]
+//	       [-admission] [-trace-cap N] [-metrics addr] [-drain dur]
+//	       [-idle-timeout dur] [-write-timeout dur]
+//	       [-chaos RATE] [-chaos-seed N] [-v]
 //
 // -keys declares the tenant map: each entry binds an API key to a
 // fairness tenant, with an optional weighted-fair share ("gold-key=
@@ -20,6 +22,17 @@
 // has latency history, submissions whose deadline cannot cover the
 // observed p99 queue wait plus p99 execution time are shed at the edge
 // with reason "deadline" instead of being admitted to miss.
+//
+// -idle-timeout reaps connections that send no frame at all (not even
+// a heartbeat ping) for the given duration; -write-timeout bounds every
+// frame write so a slow or stuck client cannot wedge a verdict
+// delivery (its verdicts are spilled and the connection cut instead).
+//
+// -chaos RATE injects seeded connection faults (resets, delays,
+// partial writes, handshake drops, forced pool saturation) into the
+// server's own I/O at the given per-operation probability — a
+// standalone fault-injection mode for exercising client resilience
+// against a real process. Never enable it on a front you care about.
 //
 // -metrics serves the process registry over HTTP (/metrics,
 // /metrics.json, /debug/pprof) for the daemon's lifetime; the front's
@@ -45,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/front"
 	"repro/internal/obs"
@@ -103,8 +117,17 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "event-log retention for traced sessions (0 = default)")
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /metrics.json and /debug/pprof on this address (e.g. "127.0.0.1:9100")`)
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before in-flight sessions are cancelled")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections silent for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline; slow clients get verdicts spilled and the connection cut (0 = 30s default, negative = none)")
+	chaosRate := flag.Float64("chaos", 0, "inject seeded server-side connection faults at this per-operation probability (testing only)")
+	chaosSeed := flag.Int64("chaos-seed", 7, "seed for -chaos fault injection")
 	verbose := flag.Bool("v", false, "log tenant map and shutdown progress")
 	flag.Parse()
+
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fmt.Fprintf(os.Stderr, "frontd: -chaos must be in [0,1], got %v\n", *chaosRate)
+		os.Exit(2)
+	}
 
 	keys, weights, err := parseKeys(*keysSpec)
 	if err != nil {
@@ -140,20 +163,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "frontd: metrics on http://%s/metrics\n", srv.Addr())
 	}
 
+	var injector *chaos.Injector
+	if *chaosRate > 0 {
+		injector = chaos.New(*chaosSeed).SetAll(*chaosRate)
+		fmt.Fprintf(os.Stderr, "frontd: CHAOS ENABLED: injecting faults at rate %v (seed %d)\n", *chaosRate, *chaosSeed)
+	}
+
 	sopts := []serve.Option{
 		serve.WithMaxSessions(*sessions),
 		serve.WithQueueDepth(*queue),
 		serve.WithRuntime(core.WithMode(mode)),
 		serve.WithDeadlineAdmission(*admission),
+		serve.WithChaos(injector),
 	}
 	for tenant, w := range weights {
 		sopts = append(sopts, serve.WithTenantWeight(tenant, w))
 	}
 	f, err := front.New(front.Config{
-		Addr:     *addr,
-		Keys:     keys,
-		Serve:    sopts,
-		TraceCap: *traceCap,
+		Addr:         *addr,
+		Keys:         keys,
+		Serve:        sopts,
+		TraceCap:     *traceCap,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		Chaos:        injector,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "frontd: %v\n", err)
@@ -188,6 +221,9 @@ func main() {
 	ps := f.Pool().Stats()
 	fmt.Fprintf(os.Stderr, "frontd: drained in %v: %d sessions completed (%d clean, %d deadlock, %d canceled), %d rejected\n",
 		time.Since(start).Round(time.Millisecond), ps.Completed, ps.Clean, ps.Deadlocks, ps.Canceled, ps.Rejected)
+	if spilled := f.Spilled(); len(spilled) > 0 {
+		fmt.Fprintf(os.Stderr, "frontd: %d verdicts spilled to slow or dead clients\n", len(spilled))
+	}
 	if metricsSrv != nil {
 		metricsSrv.Close()
 	}

@@ -9,7 +9,8 @@
 //	loadgen [-sessions N] [-queue N] [-drivers N] [-d duration] [-mix all|spec]
 //	        [-scale small|default|paper] [-mode full|ownership|unverified]
 //	        [-detector lockfree|globallock] [-inject frac] [-deadline spec]
-//	        [-open rate [-front addr] [-tenants spec] [-shape s] [-fairness tol]]
+//	        [-open rate [-front addr] [-tenants spec] [-shape s] [-fairness tol]
+//	         [-chaos rate] [-chaos-seed N]]
 //	        [-seed N] [-json file] [-metrics addr] [-metrics-out file] [-v]
 //
 // -drivers sets the closed-loop submitter count; the default,
@@ -35,6 +36,18 @@
 // detector false verdict and loadgen exits nonzero. It also exits nonzero
 // on dropped trace events or leaked goroutines after Pool.Close, so the
 // nightly soak job fails loudly.
+//
+// -chaos RATE (open-loop only) turns the run into a fault-injection
+// harness: a seeded injector (internal/chaos) fires connection resets,
+// read/write delays, partial writes, handshake drops and forced
+// pool-saturation rejections at RATE on both sides of the wire, and the
+// tenant clients submit through front.ResilientClient — retry with
+// backoff, reconnect, breakers. The run then also enforces the chaos
+// invariants: every offered submission ends in exactly ONE terminal
+// outcome (a verdict or a typed error), no false verdicts (a canceled
+// verdict with a connection-lost cause is legitimate under chaos), no
+// unmatched (double-delivered) verdicts, and no leaked goroutines. The
+// report gains a "chaos" JSON section with the injector counts.
 //
 // -deadline mixes per-session deadlines into the traffic: a
 // comma-separated list of DUR[:weight] classes ("5ms:1,none:9" gives one
@@ -298,6 +311,8 @@ func main() {
 	shapePeriod := flag.Duration("shape-period", 2*time.Second, "period of the bursty/diurnal arrival shapes")
 	fairness := flag.Float64("fairness", 0, "open-loop: fail unless per-tenant completed/share stays within this fraction of the mean (0 = no check)")
 	admission := flag.Bool("admission", true, "open-loop: deadline-aware admission on the self-hosted front")
+	chaosRate := flag.Float64("chaos", 0, "open-loop: injected fault rate in [0,1) (conn resets, r/w delays, partial writes, handshake drops, forced saturation); clients submit through the retrying resilient client")
+	chaosSeed := flag.Int64("chaos-seed", 7, "chaos injector RNG seed (reproducible fault schedules)")
 	seed := flag.Int64("seed", 1, "mix-draw RNG seed")
 	jsonOut := flag.String("json", "", `write/merge the report as JSON ("serve" section of a benchtable file)`)
 	metricsAddr := flag.String("metrics", "", `serve /metrics (Prometheus text), /metrics.json and /debug/pprof on this address during the run (e.g. "127.0.0.1:9100")`)
@@ -342,6 +357,10 @@ func main() {
 		opts = append(opts, core.WithDetector(core.DetectGlobalLock))
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown detector %q\n", *detector)
+		os.Exit(2)
+	}
+	if *chaosRate > 0 && *open <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos requires -open (faults are injected at the network edge)")
 		os.Exit(2)
 	}
 	if *modeFlag != "full" && (*inject > 0 || *mix != "all") {
@@ -405,6 +424,7 @@ func main() {
 			sessions: *sessions, queue: *queue, dur: *dur,
 			scale: *scaleFlag, mode: *modeFlag, mix: *mix, inject: *inject,
 			deadlineStr: *deadlineSpec, admission: *admission,
+			chaosRate: *chaosRate, chaosSeed: *chaosSeed,
 			seed: *seed, jsonOut: *jsonOut, verbose: *verbose,
 		}, scenarios, injected, totalWeight, deadlines, deadlineWeight, opts, *fairness)
 		if *metricsOut != "" {

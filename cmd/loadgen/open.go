@@ -39,11 +39,47 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/front"
 	"repro/internal/harness"
 	"repro/internal/serve"
 )
+
+// submitter is the client surface the arrival loop drives: the plain
+// one-connection front.Client normally, the retrying/reconnecting
+// front.ResilientClient under -chaos.
+type submitter interface {
+	Submit(ctx context.Context, req front.SubmitRequest) (*front.RemoteSession, error)
+	Close() error
+}
+
+// chaosReport is the "chaos" section written to the JSON output: the
+// injector's fault counts plus the invariant verdicts the run enforced.
+type chaosReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	Rate        float64 `json:"rate"`
+	Seed        int64   `json:"seed"`
+	Duration    string  `json:"duration"`
+	OpenRate    float64 `json:"open_rate"`
+	// ServerFaults/ClientFaults are the per-kind injected fault counts
+	// on each side of the wire.
+	ServerFaults map[string]int64 `json:"server_faults"`
+	ClientFaults map[string]int64 `json:"client_faults"`
+	Offered      int64            `json:"offered"`
+	Completed    int64            `json:"completed"`
+	Rejected     int64            `json:"rejected"`
+	Retries      int64            `json:"retries"`
+	// TerminalOutcomeOK: offered == completed + rejected — every
+	// submission ended in exactly one terminal outcome.
+	TerminalOutcomeOK bool  `json:"terminal_outcome_ok"`
+	FalseVerdicts     int64 `json:"false_verdicts"`
+	// UnmatchedVerdicts counts verdict frames that matched no pending
+	// submission (a double delivery would land here). Must be 0.
+	UnmatchedVerdicts int64 `json:"unmatched_verdicts"`
+	SpilledVerdicts   int   `json:"spilled_verdicts"`
+	LeakedGoroutines  int   `json:"leaked_goroutines"`
+}
 
 // tenantSpec is one entry of the -tenants flag: a fairness tenant with
 // its weighted-fair share.
@@ -165,6 +201,8 @@ type openConfig struct {
 	inject      float64
 	deadlineStr string
 	admission   bool
+	chaosRate   float64 // injected fault rate; 0 = chaos off
+	chaosSeed   int64
 	seed        int64
 	jsonOut     string
 	verbose     bool
@@ -192,6 +230,37 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 
 	goroutinesBefore := runtime.NumGoroutine()
 
+	// Chaos: two seeded injectors, one per side of the wire, so each
+	// side's fault schedule is reproducible independently. The server one
+	// also forces pool-saturation rejections; delays stay small relative
+	// to the run so injected latency does not swamp the arrival schedule.
+	// -chaos RATE drives a fault MIX, not a flat per-op probability:
+	// benign faults (read/write delays, forced pool saturation) fire at
+	// RATE per operation, connection-fatal ones (resets, partial writes,
+	// handshake drops) at RATE/10. The distinction matters because every
+	// I/O op on the shared per-tenant connection rolls the dice — at a
+	// few hundred ops/s a flat 5% fatal rate kills the connection every
+	// ~20 ops and the run measures nothing but reconnect storms. The
+	// mix still resets connections dozens of times over a multi-second
+	// run, which is what the recovery invariants need.
+	chaosOn := cfg.chaosRate > 0
+	var srvChaos, cliChaos *chaos.Injector
+	if chaosOn {
+		fatal := cfg.chaosRate / 10
+		srvChaos = chaos.New(cfg.chaosSeed).
+			SetRate(chaos.ReadDelay, cfg.chaosRate).
+			SetRate(chaos.WriteDelay, cfg.chaosRate).
+			SetRate(chaos.PoolSaturate, cfg.chaosRate).
+			SetRate(chaos.ConnReset, fatal).
+			SetRate(chaos.PartialWrite, fatal).
+			SetRate(chaos.HandshakeDrop, fatal)
+		cliChaos = chaos.New(cfg.chaosSeed+1).
+			SetRate(chaos.ReadDelay, cfg.chaosRate).
+			SetRate(chaos.WriteDelay, cfg.chaosRate).
+			SetRate(chaos.ConnReset, fatal).
+			SetRate(chaos.PartialWrite, fatal)
+	}
+
 	// Self-host the front unless -front names an external one. The
 	// self-hosted pool gets the shared options surface: sizing, the
 	// tenant weights from -tenants, deadline admission, runtime mode.
@@ -204,13 +273,20 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 			serve.WithQueueDepth(cfg.queue),
 			serve.WithRuntime(rtOpts...),
 			serve.WithDeadlineAdmission(cfg.admission),
+			serve.WithChaos(srvChaos),
 		}
 		for _, ts := range cfg.tenants {
 			keys[ts.name+"-key"] = ts.name
 			sopts = append(sopts, serve.WithTenantWeight(ts.name, ts.weight))
 		}
+		fcfg := front.Config{Addr: "127.0.0.1:0", Keys: keys, Serve: sopts, Chaos: srvChaos}
+		if chaosOn {
+			// Supervision tight enough to matter inside a short run.
+			fcfg.IdleTimeout = 5 * time.Second
+			fcfg.WriteTimeout = 2 * time.Second
+		}
 		var err error
-		f, err = front.New(front.Config{Addr: "127.0.0.1:0", Keys: keys, Serve: sopts})
+		f, err = front.New(fcfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: front: %v\n", err)
 			return 1
@@ -218,8 +294,42 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 		addr = f.Addr()
 	}
 
-	clients := make([]*front.Client, len(cfg.tenants))
+	clients := make([]submitter, len(cfg.tenants))
+	rclients := make([]*front.ResilientClient, len(cfg.tenants)) // non-nil under chaos
 	for i, ts := range cfg.tenants {
+		if chaosOn {
+			// The retry budget scales with the offered load: one conn
+			// fault kills every in-flight submission sharing the conn, so
+			// a fixed small budget drains in one bad moment and turns the
+			// rest of the run into terminal ErrRetryBudget rejections.
+			budget := int64(cfg.rate*cfg.dur.Seconds()) / int64(len(cfg.tenants))
+			if budget < 256 {
+				budget = 256
+			}
+			// Patience matters more than speed here: attempts must be
+			// able to outlive a full breaker cooldown, or every arrival
+			// during an open-breaker window exhausts its attempts and
+			// turns into a terminal reject before the probe ever fires.
+			rc, err := front.DialResilient([]string{addr}, ts.name+"-key", front.RetryPolicy{
+				MaxAttempts:      10,
+				BaseDelay:        20 * time.Millisecond,
+				MaxDelay:         500 * time.Millisecond,
+				Budget:           budget,
+				BreakerThreshold: 5,
+				BreakerCooldown:  250 * time.Millisecond,
+			}, front.DialOptions{
+				Chaos:             cliChaos,
+				HeartbeatInterval: time.Second,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: dial %s as %s: %v\n", addr, ts.name, err)
+				return 1
+			}
+			defer rc.Close()
+			rclients[i] = rc
+			clients[i] = rc
+			continue
+		}
 		c, err := front.Dial(addr, ts.name+"-key")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: dial %s as %s: %v\n", addr, ts.name, err)
@@ -231,6 +341,10 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 
 	fmt.Fprintf(os.Stderr, "loadgen: open-loop %.0f/s (%s/%v) -> %s, tenants %s, mix %q, %v, scale=%s mode=%s admission=%v deadline=%q\n",
 		cfg.rate, cfg.shape, cfg.shapePeriod, addr, cfg.tenantsString(), cfg.mix, cfg.dur, cfg.scale, cfg.mode, cfg.admission, cfg.deadlineStr)
+	if chaosOn {
+		fmt.Fprintf(os.Stderr, "loadgen: chaos on: rate=%.2f seed=%d (server faults seeded %d, client faults seeded %d)\n",
+			cfg.chaosRate, cfg.chaosSeed, cfg.chaosSeed, cfg.chaosSeed+1)
+	}
 
 	stats := map[string]*scenarioStat{}
 	for _, sc := range scenarios {
@@ -315,7 +429,12 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 			}
 			sess.Wait()
 			got := sess.Verdict()
-			okVerdict := got == sc.want || (dl > 0 && got == serve.VerdictCanceled)
+			// Under chaos a connection can die after accept: the server
+			// cancels the orphaned session (ErrPoolClosed cause) rather
+			// than deliver a verdict to nobody. That is a legitimate
+			// terminal outcome, not a false verdict.
+			okVerdict := got == sc.want || (dl > 0 && got == serve.VerdictCanceled) ||
+				(chaosOn && got == serve.VerdictCanceled && errors.Is(sess.Err(), serve.ErrPoolClosed))
 			mu.Lock()
 			st := stats[sc.name]
 			st.count++
@@ -472,6 +591,57 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 		}
 	}
 
+	// Chaos invariants: every submission must have ended in exactly one
+	// terminal outcome (offered == completed + rejected), no verdict may
+	// have matched nothing (a double delivery would), and the run must
+	// not leak goroutines. Spilled verdicts are reported, not failed on:
+	// a spill IS the designed terminal disposition for a slow client.
+	var crep *chaosReport
+	chaosBad := false
+	if chaosOn {
+		offered := offeredTotal(tstats)
+		var rejectedTotal int64
+		for _, n := range rejectReasons {
+			rejectedTotal += n
+		}
+		var retries, unmatched int64
+		for _, rc := range rclients {
+			if rc == nil {
+				continue
+			}
+			retries += rc.Retries()
+			unmatched += rc.Stats().UnmatchedVerdicts
+		}
+		spilled := 0
+		if f != nil {
+			spilled = len(f.Spilled())
+		}
+		crep = &chaosReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Rate:        cfg.chaosRate, Seed: cfg.chaosSeed,
+			Duration: cfg.dur.String(), OpenRate: cfg.rate,
+			ServerFaults: srvChaos.Counts(), ClientFaults: cliChaos.Counts(),
+			Offered: offered, Completed: completed, Rejected: rejectedTotal,
+			Retries:           retries,
+			TerminalOutcomeOK: offered == completed+rejectedTotal,
+			FalseVerdicts:     falseVerdicts,
+			UnmatchedVerdicts: unmatched,
+			SpilledVerdicts:   spilled,
+			LeakedGoroutines:  leaked,
+		}
+		fmt.Printf("\nchaos: rate=%.2f seed=%d server-faults=%d client-faults=%d retries=%d spilled=%d\n",
+			cfg.chaosRate, cfg.chaosSeed, srvChaos.Total(), cliChaos.Total(), retries, spilled)
+		if !crep.TerminalOutcomeOK {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: terminal-outcome invariant: offered %d != completed %d + rejected %d\n",
+				offered, completed, rejectedTotal)
+			chaosBad = true
+		}
+		if unmatched > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d unmatched (possibly double-delivered) verdicts\n", unmatched)
+			chaosBad = true
+		}
+	}
+
 	if cfg.jsonOut != "" {
 		rep := frontReport{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -487,10 +657,16 @@ func runOpen(cfg openConfig, scenarios []scenario, injected scenario, totalWeigh
 			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", cfg.jsonOut, err)
 			return 1
 		}
+		if crep != nil {
+			if err := writeJSONSection(cfg.jsonOut, "chaos", crep); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", cfg.jsonOut, err)
+				return 1
+			}
+		}
 		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", cfg.jsonOut)
 	}
 
-	bad := false
+	bad := chaosBad
 	if falseVerdicts > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d false verdicts\n", falseVerdicts)
 		bad = true

@@ -1,0 +1,192 @@
+// Package chaos is the fault-injection harness behind the serving
+// stack's resilience claims. A seeded Injector decides, per fault
+// point, whether this call fails — connection resets, read/write
+// delays, partial writes, handshake drops, forced pool saturation —
+// and counts every injection so a test or a loadgen run can assert the
+// faults actually happened (a chaos run that injected nothing proves
+// nothing).
+//
+// The design mirrors the rest of the repo's zero-cost-off discipline:
+// every entry point is nil-receiver safe, so production call sites
+// carry an injector pointer that is nil outside chaos runs and the
+// whole package costs one nil check per fault point. Injection draws
+// come from a single seeded rand.Rand under a mutex — fault points are
+// control-plane sites (dials, accepts, frame reads/writes, admission),
+// never per-task hot paths — so a chaos run is reproducible per seed
+// up to goroutine interleaving.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the fault points the serving stack exposes.
+type Kind int
+
+const (
+	// ConnReset closes the connection mid read or write: the local side
+	// sees ErrInjected, the peer sees a reset/EOF.
+	ConnReset Kind = iota
+	// ReadDelay stalls a read by a jittered Delay() before serving it.
+	ReadDelay
+	// WriteDelay stalls a write the same way.
+	WriteDelay
+	// PartialWrite writes a prefix of the buffer, then closes the conn —
+	// the peer decodes a truncated frame.
+	PartialWrite
+	// HandshakeDrop cuts a freshly accepted (or dialed) connection
+	// before the hello/helloAck exchange completes.
+	HandshakeDrop
+	// PoolSaturate forces a synchronous ErrPoolSaturated admission
+	// rejection — the canonical retryable typed error.
+	PoolSaturate
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	ConnReset:     "conn_reset",
+	ReadDelay:     "read_delay",
+	WriteDelay:    "write_delay",
+	PartialWrite:  "partial_write",
+	HandshakeDrop: "handshake_drop",
+	PoolSaturate:  "pool_saturate",
+}
+
+// String returns the kind's stable snake_case name (used as the key of
+// Injector.Counts and in JSON reports).
+func (k Kind) String() string {
+	if k < 0 || k >= kindCount {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ErrInjected is the root of every chaos-injected connection error;
+// errors.Is(err, chaos.ErrInjected) distinguishes injected faults from
+// organic ones in tests and reports. Callers must still treat injected
+// faults exactly like real ones — that equivalence is what the harness
+// verifies.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Injector decides and counts fault injections. The zero Injector is
+// not usable; construct with New. A nil *Injector is inert: every
+// method is nil-receiver safe and Fire reports false.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	rate     [kindCount]float64
+	delayMin time.Duration
+	delayMax time.Duration
+
+	injected [kindCount]atomic.Int64
+}
+
+// New creates an injector with all rates zero and a 1–10 ms delay
+// range. Seed fixes the draw sequence.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:      rand.New(rand.NewSource(seed)),
+		delayMin: time.Millisecond,
+		delayMax: 10 * time.Millisecond,
+	}
+}
+
+// SetRate sets one fault kind's injection probability in [0, 1].
+func (in *Injector) SetRate(k Kind, rate float64) *Injector {
+	if in == nil || k < 0 || k >= kindCount {
+		return in
+	}
+	in.mu.Lock()
+	in.rate[k] = rate
+	in.mu.Unlock()
+	return in
+}
+
+// SetAll sets every fault kind to the same rate.
+func (in *Injector) SetAll(rate float64) *Injector {
+	if in == nil {
+		return in
+	}
+	in.mu.Lock()
+	for k := range in.rate {
+		in.rate[k] = rate
+	}
+	in.mu.Unlock()
+	return in
+}
+
+// SetDelayRange bounds the jittered stall Delay returns for
+// ReadDelay/WriteDelay injections.
+func (in *Injector) SetDelayRange(min, max time.Duration) *Injector {
+	if in == nil || min < 0 || max < min {
+		return in
+	}
+	in.mu.Lock()
+	in.delayMin, in.delayMax = min, max
+	in.mu.Unlock()
+	return in
+}
+
+// Fire draws the k fault: true means the caller must fail this
+// operation. Every true is counted. Nil-safe: a nil injector never
+// fires.
+func (in *Injector) Fire(k Kind) bool {
+	if in == nil || k < 0 || k >= kindCount {
+		return false
+	}
+	in.mu.Lock()
+	rate := in.rate[k]
+	hit := rate > 0 && in.rng.Float64() < rate
+	in.mu.Unlock()
+	if hit {
+		in.injected[k].Add(1)
+	}
+	return hit
+}
+
+// Delay returns a jittered stall duration in the configured range.
+func (in *Injector) Delay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.delayMax <= in.delayMin {
+		return in.delayMin
+	}
+	return in.delayMin + time.Duration(in.rng.Int63n(int64(in.delayMax-in.delayMin)))
+}
+
+// Counts returns the per-kind injection totals, keyed by Kind.String().
+// Kinds that never fired are omitted; nil injectors return nil.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	for k := Kind(0); k < kindCount; k++ {
+		if n := in.injected[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	var n int64
+	for k := Kind(0); k < kindCount; k++ {
+		n += in.injected[k].Load()
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorInert pins the zero-cost-off contract: every method of
+// a nil injector is safe and inert.
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(ConnReset) {
+		t.Fatal("nil injector fired")
+	}
+	if d := in.Delay(); d != 0 {
+		t.Fatalf("nil Delay = %v", d)
+	}
+	if c := in.Counts(); c != nil {
+		t.Fatalf("nil Counts = %v", c)
+	}
+	if n := in.Total(); n != 0 {
+		t.Fatalf("nil Total = %d", n)
+	}
+	in.SetRate(ConnReset, 1).SetAll(1).SetDelayRange(0, time.Second)
+	nc, _ := net.Pipe()
+	defer nc.Close()
+	if got := WrapConn(nc, nil); got != nc {
+		t.Fatal("WrapConn(nil) wrapped")
+	}
+}
+
+// TestFireRatesAndCounts checks rate-1 kinds always fire, rate-0 kinds
+// never do, and every firing is counted under its stable name.
+func TestFireRatesAndCounts(t *testing.T) {
+	in := New(7).SetRate(PoolSaturate, 1)
+	for i := 0; i < 100; i++ {
+		if !in.Fire(PoolSaturate) {
+			t.Fatal("rate-1 kind did not fire")
+		}
+		if in.Fire(ConnReset) {
+			t.Fatal("rate-0 kind fired")
+		}
+	}
+	counts := in.Counts()
+	if counts["pool_saturate"] != 100 || len(counts) != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if in.Total() != 100 {
+		t.Fatalf("total = %d", in.Total())
+	}
+}
+
+// TestSeededReproducibility: same seed, same draw sequence.
+func TestSeededReproducibility(t *testing.T) {
+	a := New(42).SetAll(0.5)
+	b := New(42).SetAll(0.5)
+	for i := 0; i < 256; i++ {
+		if a.Fire(ReadDelay) != b.Fire(ReadDelay) {
+			t.Fatalf("draw %d diverged across equal seeds", i)
+		}
+	}
+}
+
+// TestDelayRange pins Delay inside the configured bounds.
+func TestDelayRange(t *testing.T) {
+	in := New(1).SetDelayRange(2*time.Millisecond, 5*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if d := in.Delay(); d < 2*time.Millisecond || d >= 5*time.Millisecond {
+			t.Fatalf("delay %v outside [2ms, 5ms)", d)
+		}
+	}
+}
+
+// TestWrapConnReset: a reset injection closes the conn, returns a typed
+// ErrInjected error locally, and the peer observes the close.
+func TestWrapConnReset(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	in := New(3).SetRate(ConnReset, 1)
+	fc := WrapConn(a, in)
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	if _, err := fc.Write([]byte("hello")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("peer read succeeded through an injected reset")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the reset")
+	}
+	if in.Counts()["conn_reset"] == 0 {
+		t.Fatal("reset not counted")
+	}
+}
+
+// TestWrapConnPartialWrite: the peer receives a strict prefix, then the
+// conn closes — exactly what a truncated-frame decoder must survive.
+func TestWrapConnPartialWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	in := New(9).SetRate(PartialWrite, 1)
+	fc := WrapConn(a, in)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+	payload := []byte("0123456789")
+	if _, err := fc.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	select {
+	case buf := <-got:
+		if len(buf) >= len(payload) || len(buf) == 0 {
+			t.Fatalf("peer got %d bytes, want a strict non-empty prefix of %d", len(buf), len(payload))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer read never finished")
+	}
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// WrapConn wraps a net.Conn with the injector's connection faults:
+// jittered read/write delays, mid-operation resets, and partial
+// writes. A nil injector returns nc unchanged — zero indirection
+// outside chaos runs. The wrapper preserves deadline semantics by
+// delegating everything except Read/Write to the underlying conn.
+func WrapConn(nc net.Conn, in *Injector) net.Conn {
+	if in == nil {
+		return nc
+	}
+	return &faultConn{Conn: nc, in: in}
+}
+
+// faultConn injects connection-level faults. Resets CLOSE the
+// underlying conn (the peer observes it, like a real RST) and return an
+// ErrInjected-wrapped error locally, so both sides exercise their
+// failure paths from one injection.
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.in.Fire(ReadDelay) {
+		time.Sleep(c.in.Delay())
+	}
+	if c.in.Fire(ConnReset) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn reset during read", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.in.Fire(WriteDelay) {
+		time.Sleep(c.in.Delay())
+	}
+	if c.in.Fire(ConnReset) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn reset during write", ErrInjected)
+	}
+	if len(p) > 1 && c.in.Fire(PartialWrite) {
+		n, err := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: partial write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	return c.Conn.Write(p)
+}

@@ -6,10 +6,58 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 )
+
+// ErrRefused is wrapped into Dial errors when the server answered the
+// handshake with a refusal — bad API key or protocol version skew.
+// Unlike a connection failure, a refusal is NOT retryable: the same
+// credentials will be refused again (RetryPolicy classifies it fatal).
+var ErrRefused = errors.New("front: server refused connection")
+
+// ErrHeartbeat is wrapped into the connection-lost error when the
+// client's heartbeat loop declared the server dead: HeartbeatMisses
+// consecutive pings went unanswered.
+var ErrHeartbeat = errors.New("front: heartbeats unanswered")
+
+// Client write-deadline and heartbeat defaults (DialOptions zero
+// values).
+const (
+	defaultClientWriteTimeout = 10 * time.Second
+	defaultHeartbeatMisses    = 3
+	defaultDialTimeout        = 5 * time.Second
+)
+
+// DialOptions tunes one client connection's supervision. The zero
+// value is production-sane: a 10 s write deadline (a dead server can
+// stall a submit for at most that, never forever), heartbeats off, no
+// fault injection.
+type DialOptions struct {
+	// WriteTimeout bounds every frame write (submit, cancel, ping). 0
+	// selects 10 s; negative disables the deadline entirely. A write
+	// that misses it fails with ErrWriteTimeout and the connection is
+	// torn down — the frame boundary is unrecoverable.
+	WriteTimeout time.Duration
+	// HeartbeatInterval, when positive, starts a keepalive loop: a ping
+	// every interval, and the connection is declared dead (all pending
+	// sessions fail with ErrHeartbeat) after HeartbeatMisses consecutive
+	// unanswered pings. Heartbeats also keep the connection alive past a
+	// server-side idle reaper (front.Config.IdleTimeout).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive unanswered-ping budget; <= 0
+	// selects 3.
+	HeartbeatMisses int
+	// DialTimeout bounds the TCP dial; <= 0 selects 5 s.
+	DialTimeout time.Duration
+	// Chaos, when non-nil, wraps the connection with injected faults
+	// (resets, delays, partial writes) — the client-side half of the
+	// chaos harness.
+	Chaos *chaos.Injector
+}
 
 // Client is the Go client for a Front. One Client owns one TCP
 // connection; Submit is safe for concurrent use, and each submission
@@ -27,9 +75,40 @@ type Client struct {
 	pending map[uint64]*RemoteSession
 	closed  bool
 	goaway  bool
+	fatalCl bool  // conn torn down by fatal()
+	cause   error // why, when fatalCl
 	readErr error
 	// readDone is closed when the reader goroutine exits.
 	readDone chan struct{}
+	// hbDone is closed when the heartbeat goroutine exits (immediately
+	// closed when heartbeats are off).
+	hbDone chan struct{}
+
+	pingSeq   atomic.Uint64 // last ping sent
+	pongSeq   atomic.Uint64 // last pong received
+	missed    atomic.Int64  // heartbeat intervals that elapsed unanswered
+	unmatched atomic.Int64  // verdict frames with no pending session (double delivery)
+}
+
+// ClientStats counts one connection's supervision events.
+type ClientStats struct {
+	// HeartbeatsMissed is how many heartbeat intervals elapsed with the
+	// previous ping still unanswered (the connection is cut at
+	// HeartbeatMisses consecutive).
+	HeartbeatsMissed int64
+	// UnmatchedVerdicts counts verdict frames that matched no pending
+	// session — a verdict delivered twice for one id, or for an id this
+	// client never submitted. Always 0 when the exactly-once contract
+	// holds; the chaos harness asserts it.
+	UnmatchedVerdicts int64
+}
+
+// Stats returns the connection's supervision counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		HeartbeatsMissed:  c.missed.Load(),
+		UnmatchedVerdicts: c.unmatched.Load(),
+	}
 }
 
 // SubmitRequest describes one remote session.
@@ -69,29 +148,53 @@ type RemoteSession struct {
 	trace   []byte
 }
 
-// Dial connects to a Front, performs the version/key handshake, and
+// Dial connects to a Front with default supervision (10 s write
+// deadline, no heartbeats), performs the version/key handshake, and
 // returns a ready Client. The key decides the fairness tenant every
 // session on this connection is accounted under.
 func Dial(addr, key string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialOpts(addr, key, DialOptions{})
+}
+
+// DialOpts is Dial with explicit supervision options.
+func DialOpts(addr, key string, o DialOptions) (*Client, error) {
+	dialTO := o.DialTimeout
+	if dialTO <= 0 {
+		dialTO = defaultDialTimeout
+	}
+	raw, err := net.DialTimeout("tcp", addr, dialTO)
 	if err != nil {
 		return nil, fmt.Errorf("front: dial %s: %w", addr, err)
 	}
+	nc := chaos.WrapConn(raw, o.Chaos)
+	writeTO := o.WriteTimeout
+	switch {
+	case writeTO == 0:
+		writeTO = defaultClientWriteTimeout
+	case writeTO < 0:
+		writeTO = 0
+	}
 	c := &Client{
 		nc:       nc,
-		fw:       &frameWriter{w: nc},
+		fw:       &frameWriter{w: nc, nc: nc, timeout: writeTO},
 		pending:  make(map[uint64]*RemoteSession),
 		readDone: make(chan struct{}),
+		hbDone:   make(chan struct{}),
 	}
+	// A transport failure during the handshake (EOF, reset, timeout) is
+	// a connection lost before anything was accepted: it carries the
+	// same ErrPoolClosed sentinel the read loop uses for conn loss, so
+	// the retry layer classifies it retryable. Protocol-level refusals
+	// (ErrRefused, bad ack) stay terminal.
 	if err := c.fw.send(frameHello, helloMsg{Version: ProtocolVersion, Key: key}); err != nil {
 		nc.Close()
-		return nil, err
+		return nil, fmt.Errorf("front: handshake: %w: %w", err, serve.ErrPoolClosed)
 	}
 	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	typ, body, err := readFrame(nc)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("front: handshake: %w", err)
+		return nil, fmt.Errorf("front: handshake: %w: %w", err, serve.ErrPoolClosed)
 	}
 	nc.SetReadDeadline(time.Time{})
 	var ack helloAckMsg
@@ -101,16 +204,86 @@ func Dial(addr, key string) (*Client, error) {
 	}
 	if ack.Err != "" {
 		nc.Close()
-		return nil, fmt.Errorf("front: server refused connection: %s", ack.Err)
+		return nil, fmt.Errorf("%w: %s", ErrRefused, ack.Err)
 	}
 	c.tenant = ack.Tenant
 	go c.readLoop()
+	if o.HeartbeatInterval > 0 {
+		misses := o.HeartbeatMisses
+		if misses <= 0 {
+			misses = defaultHeartbeatMisses
+		}
+		go c.heartbeatLoop(o.HeartbeatInterval, misses)
+	} else {
+		close(c.hbDone)
+	}
 	return c, nil
+}
+
+// fatal tears the connection down because of err: the read loop then
+// exits and fails every outstanding session. Idempotent; the first
+// cause wins.
+func (c *Client) fatal(err error) {
+	c.mu.Lock()
+	if !c.fatalCl {
+		c.fatalCl = true
+		c.cause = err
+	}
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+// heartbeatLoop sends a ping every interval and declares the
+// connection dead after `misses` consecutive unanswered ones. Any
+// inbound pong (matched by sequence number) resets the debt. The loop
+// exits with the read loop.
+func (c *Client) heartbeatLoop(interval time.Duration, misses int) {
+	defer close(c.hbDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.readDone:
+			return
+		case <-t.C:
+		}
+		if sent := c.pingSeq.Load(); sent > c.pongSeq.Load() {
+			c.missed.Add(1)
+			if m := fmet(); m != nil {
+				m.heartbeatsMissed.Inc()
+			}
+			if sent-c.pongSeq.Load() >= uint64(misses) {
+				c.fatal(fmt.Errorf("%w: %d consecutive pings (interval %v)", ErrHeartbeat, misses, interval))
+				return
+			}
+		}
+		if err := c.fw.send(framePing, pingMsg{Seq: c.pingSeq.Add(1)}); err != nil {
+			c.fatal(err)
+			return
+		}
+	}
 }
 
 // Tenant returns the fairness tenant the server mapped this client's
 // API key to.
 func (c *Client) Tenant() string { return c.tenant }
+
+// alive reports whether the connection can still carry submissions:
+// not closed, not torn down by fatal(), read loop still running, no
+// goaway received.
+func (c *Client) alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.fatalCl || c.goaway || c.readErr != nil {
+		return false
+	}
+	select {
+	case <-c.readDone:
+		return false
+	default:
+		return true
+	}
+}
 
 // Submit sends one session to the server and waits for its synchronous
 // admission answer. On acceptance the returned RemoteSession's verdict
@@ -149,6 +322,10 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*RemoteSession,
 		}
 	}
 	if err := c.fw.send(frameSubmit, msg); err != nil {
+		// A failed frame write leaves the stream boundary unknown: the
+		// connection is unusable, and tearing it down is what lets Submit
+		// callers observe a clean connection-lost error instead of a wedge.
+		c.fatal(err)
 		c.drop(s.id)
 		return nil, err
 	}
@@ -189,6 +366,7 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	err := c.nc.Close()
 	<-c.readDone
+	<-c.hbDone
 	return err
 }
 
@@ -238,33 +416,61 @@ func (c *Client) readLoop() {
 				s.dur = time.Duration(msg.DurationMs) * time.Millisecond
 				s.trace = msg.Trace
 				close(s.done)
+			} else {
+				// No pending session for this id: a verdict delivered
+				// twice, or for an id we never submitted. Counted, not
+				// fatal — the chaos harness asserts this stays 0.
+				c.unmatched.Add(1)
 			}
 		case frameGoaway:
 			c.mu.Lock()
 			c.goaway = true
 			c.mu.Unlock()
+		case framePing:
+			var msg pingMsg
+			if decode(typ, body, &msg) != nil {
+				err = errors.New("front: corrupt ping")
+			} else if werr := c.fw.send(framePong, msg); werr != nil {
+				err = werr
+			}
+		case framePong:
+			var msg pingMsg
+			if decode(typ, body, &msg) != nil {
+				err = errors.New("front: corrupt pong")
+			} else if seq := msg.Seq; seq > c.pongSeq.Load() {
+				c.pongSeq.Store(seq)
+			}
 		default:
-			err = fmt.Errorf("front: unexpected frame type %d", typ)
+			err = fmt.Errorf("%w: %d", ErrUnknownFrame, typ)
 		}
 		if err != nil {
 			break
 		}
 	}
-	// Connection over: fail whatever is still outstanding.
+	// Connection over: fail whatever is still outstanding. When fatal()
+	// tore the conn down (heartbeat expiry, write timeout), its recorded
+	// cause is the interesting error, not the read loop's EOF.
 	c.mu.Lock()
+	if c.fatalCl && c.cause != nil {
+		err = c.cause
+	}
 	c.readErr = err
 	pending := c.pending
 	c.pending = make(map[uint64]*RemoteSession)
 	c.mu.Unlock()
+	// Double-wrap so errors.Is classifies both the transport cause
+	// (ErrHeartbeat, ErrWriteTimeout, chaos.ErrInjected) and the
+	// connection-lost sentinel.
+	lost := fmt.Errorf("front: connection lost: %w: %w", err, serve.ErrPoolClosed)
 	for _, s := range pending {
 		select {
-		case s.admitted <- fmt.Errorf("front: connection lost: %w", serve.ErrPoolClosed):
+		case s.admitted <- lost:
 		default:
 		}
 		select {
 		case <-s.done:
 		default:
-			s.err = fmt.Errorf("front: connection lost before verdict: %w", serve.ErrPoolClosed)
+			s.err = fmt.Errorf("front: connection lost before verdict: %w: %w", err, serve.ErrPoolClosed)
 			s.verdict = serve.VerdictCanceled
 			close(s.done)
 		}

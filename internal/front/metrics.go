@@ -19,6 +19,14 @@ type frontMetrics struct {
 	submitted    *obs.Counter
 	rejected     *obs.CounterVec // label: reason (closed set, see wire.go)
 	verdicts     *obs.CounterVec // label: verdict
+
+	// Fault-tolerance families. The retry-reason label space is the
+	// closed classification set in retry.go; the breaker endpoint label
+	// is operator-supplied addresses (bounded by config, not by peers).
+	retries          *obs.CounterVec // label: reason
+	breakerState     *obs.GaugeVec   // label: endpoint; 0=closed 1=open 2=half-open
+	heartbeatsMissed *obs.Counter
+	slowEvictions    *obs.Counter
 }
 
 var frontMet atomic.Pointer[frontMetrics]
@@ -37,6 +45,11 @@ func init() {
 			submitted:    reg.Counter("front_sessions_submitted_total"),
 			rejected:     reg.CounterVec("front_rejected_total", "reason"),
 			verdicts:     reg.CounterVec("front_verdicts_total", "verdict"),
+
+			retries:          reg.CounterVec("front_retries_total", "reason"),
+			breakerState:     reg.GaugeVec("front_breaker_state", "endpoint"),
+			heartbeatsMissed: reg.Counter("front_heartbeats_missed_total"),
+			slowEvictions:    reg.Counter("serve_slow_client_evictions_total"),
 		})
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/workloads"
@@ -20,6 +21,17 @@ const handshakeTimeout = 5 * time.Second
 // defaultTraceCap is the per-session event-log retention for sessions
 // that request trace bytes.
 const defaultTraceCap = 4096
+
+// defaultServerWriteTimeout bounds every server frame write unless
+// Config.WriteTimeout overrides it. Generous on purpose: it only has to
+// distinguish a wedged client (dead TCP window for 30 s straight) from
+// a slow one.
+const defaultServerWriteTimeout = 30 * time.Second
+
+// spillCap bounds the front's spilled-verdict log. The log exists so an
+// evicted slow client's verdicts are observable, not silently dropped;
+// past the cap the oldest entries go (the counter still counts).
+const spillCap = 1024
 
 // Config configures a Front. The serving pool behind it is configured
 // through the same serve.Option family Pool construction uses — the
@@ -45,6 +57,35 @@ type Config struct {
 	// TraceCap is the event-log retention for sessions submitted with
 	// Trace; <= 0 selects 4096.
 	TraceCap int
+	// IdleTimeout, when positive, reaps connections that send nothing
+	// for that long. ANY inbound frame — pings included — counts as
+	// proof of life, so a heartbeating client (DialOptions.
+	// HeartbeatInterval below the timeout) never trips it. 0 disables
+	// reaping (the PR 8 behavior).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every frame write to a client. A write that
+	// misses it marks the client slow: the verdict (if one was being
+	// delivered) is spilled to the front's spill log, the eviction is
+	// counted, and the connection is cut. 0 selects 30 s; negative
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// Chaos, when non-nil, injects server-side faults: handshake drops
+	// in the accept loop and connection faults (resets, delays, partial
+	// writes) on every accepted conn. Nil in production.
+	Chaos *chaos.Injector
+}
+
+// SpilledVerdict is a verdict the front computed but could not deliver
+// because the client's connection stalled or died mid-write. Spilling
+// is the "never silently dropped" half of slow-client eviction: the
+// outcome stays observable (Front.Spilled, and the eviction counter)
+// even though the wire could not carry it.
+type SpilledVerdict struct {
+	Tenant  string // fairness tenant of the owning connection
+	Session string // server-side session name (tenant/workload#id)
+	Verdict string // classified outcome that failed to deliver
+	Err     string // session error text, if any
+	Cause   string // why delivery failed (write timeout, conn gone)
 }
 
 // Front is the network serving front-end: it owns a listener, a serving
@@ -59,6 +100,7 @@ type Front struct {
 	mu       sync.Mutex
 	draining bool
 	conns    map[*frontConn]struct{}
+	spilled  []SpilledVerdict // bounded by spillCap; oldest dropped first
 
 	connWG sync.WaitGroup // connection handler goroutines
 	sessWG sync.WaitGroup // verdict-waiter goroutines
@@ -87,6 +129,12 @@ func New(cfg Config) (*Front, error) {
 	}
 	if cfg.TraceCap <= 0 {
 		cfg.TraceCap = defaultTraceCap
+	}
+	switch {
+	case cfg.WriteTimeout == 0:
+		cfg.WriteTimeout = defaultServerWriteTimeout
+	case cfg.WriteTimeout < 0:
+		cfg.WriteTimeout = 0
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -118,13 +166,26 @@ func (f *Front) acceptLoop() {
 		if err != nil {
 			return // listener closed: drain underway
 		}
+		// Chaos: a dropped handshake is a conn the server accepted and
+		// immediately lost — the client sees a reset before any ack, the
+		// canonical safe-to-retry failure.
+		if f.cfg.Chaos.Fire(chaos.HandshakeDrop) {
+			nc.Close()
+			continue
+		}
+		nc = chaos.WrapConn(nc, f.cfg.Chaos)
 		f.mu.Lock()
 		if f.draining {
 			f.mu.Unlock()
 			nc.Close()
 			continue
 		}
-		c := &frontConn{f: f, nc: nc, fw: &frameWriter{w: nc}, inflight: make(map[uint64]context.CancelCauseFunc)}
+		c := &frontConn{
+			f:        f,
+			nc:       nc,
+			fw:       &frameWriter{w: nc, nc: nc, timeout: f.cfg.WriteTimeout},
+			inflight: make(map[uint64]context.CancelCauseFunc),
+		}
 		f.conns[c] = struct{}{}
 		f.connWG.Add(1)
 		f.mu.Unlock()
@@ -156,7 +217,15 @@ func (c *frontConn) serve() {
 	if err := c.handshake(); err != nil {
 		return
 	}
+	// The idle reaper is a per-read deadline: every inbound frame —
+	// submits, cancels, pings — re-arms it, so "idle" means the client
+	// sent NOTHING for the whole window. Verdict traffic going out does
+	// not count; a client must speak to stay connected.
+	idle := c.f.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		typ, body, err := readFrame(c.nc)
 		if err != nil {
 			return
@@ -179,6 +248,17 @@ func (c *frontConn) serve() {
 			if cancel != nil {
 				cancel(context.Canceled)
 			}
+		case framePing:
+			var msg pingMsg
+			if err := decode(typ, body, &msg); err != nil {
+				return
+			}
+			if c.fw.send(framePong, msg) != nil {
+				return
+			}
+		case framePong:
+			// An answer to a ping we sent; receipt already re-armed the
+			// idle deadline, nothing else to do.
 		default:
 			return // protocol violation
 		}
@@ -303,8 +383,49 @@ func (c *frontConn) handleSubmit(req submitMsg) {
 		delete(c.inflight, req.ID)
 		c.mu.Unlock()
 		cancel(nil) // release the deadline timer
-		c.fw.send(frameVerdict, v)
+		c.deliverVerdict(name, v)
 	}()
+}
+
+// deliverVerdict writes a session's verdict frame. A failed write never
+// drops the verdict silently: it is spilled to the front's bounded log,
+// and if the failure was a write TIMEOUT — a live TCP conn whose peer
+// has stopped draining it — the slow client is evicted (counted, conn
+// cut) so its stalled socket cannot pin verdict waiters for every other
+// session on the conn.
+func (c *frontConn) deliverVerdict(name string, v verdictMsg) {
+	err := c.fw.send(frameVerdict, v)
+	if err == nil {
+		return
+	}
+	c.f.spill(SpilledVerdict{
+		Tenant: c.tenant, Session: name,
+		Verdict: v.Verdict, Err: v.Err, Cause: err.Error(),
+	})
+	if errors.Is(err, ErrWriteTimeout) {
+		if m := fmet(); m != nil {
+			m.slowEvictions.Inc()
+		}
+		c.nc.Close()
+	}
+}
+
+// spill appends an undeliverable verdict to the bounded spill log.
+func (f *Front) spill(sv SpilledVerdict) {
+	f.mu.Lock()
+	f.spilled = append(f.spilled, sv)
+	if n := len(f.spilled) - spillCap; n > 0 {
+		f.spilled = append(f.spilled[:0], f.spilled[n:]...)
+	}
+	f.mu.Unlock()
+}
+
+// Spilled returns a copy of the spilled-verdict log: verdicts computed
+// but undeliverable because their client stalled or vanished.
+func (f *Front) Spilled() []SpilledVerdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]SpilledVerdict(nil), f.spilled...)
 }
 
 // cancelAll cancels every in-flight session on the conn with cause.

@@ -22,19 +22,31 @@
 //	S→C  verdict{id, ...}               when the session completes
 //	C→S  cancel{id}                     best-effort, any time
 //	S→C  goaway{reason}                 server is draining; no new submits
+//	*→*  ping{seq} / pong{seq}          keepalive, either direction
 //
 // The submit id is chosen by the client and scopes the conversation: all
 // server frames about a session carry it back. Accept/reject are sent
 // from the read loop before the next submit is read, so they arrive in
 // submission order; verdicts arrive in completion order, interleaved.
+//
+// Ping/pong is the liveness layer: either side may send a ping at any
+// time after the handshake and the peer answers with a pong echoing the
+// sequence number. The client's heartbeat loop uses it to detect a dead
+// or wedged server (see DialOptions.Heartbeat); the server's idle
+// reaper treats ANY inbound frame — pings included — as proof of life,
+// so a heartbeating client survives an idle timeout and a silent one
+// does not.
 package front
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"time"
 )
 
 // ProtocolVersion is the wire schema version sent in the hello
@@ -56,6 +68,35 @@ const (
 	frameVerdict  byte = 6
 	frameCancel   byte = 7
 	frameGoaway   byte = 8
+	framePing     byte = 9
+	framePong     byte = 10
+)
+
+// Typed wire-level errors. Every malformed input a peer can send — a
+// length prefix past the cap, a stream that ends inside a frame, a body
+// that is not the advertised JSON, a frame type this version does not
+// speak — maps to exactly one of these sentinels, so the supervision
+// and retry layers classify transport failures with errors.Is instead
+// of string matching, and fuzzing can assert "typed error, never a
+// panic or a hang".
+var (
+	// ErrFrameOversized: the length prefix exceeds maxFrameBody (or is
+	// zero). The conn is cut without reading the body — a hostile length
+	// must not make the reader allocate or block for it.
+	ErrFrameOversized = errors.New("front: frame length out of range")
+	// ErrFrameTruncated: the stream ended inside a frame (header or
+	// body). Distinct from a clean EOF between frames.
+	ErrFrameTruncated = errors.New("front: truncated frame")
+	// ErrFrameCorrupt: the frame body failed to decode as the frame
+	// type's schema.
+	ErrFrameCorrupt = errors.New("front: corrupt frame body")
+	// ErrUnknownFrame: a frame type this protocol version does not
+	// speak.
+	ErrUnknownFrame = errors.New("front: unknown frame type")
+	// ErrWriteTimeout: a frame write missed its deadline — the peer has
+	// stalled (dead TCP window, wedged reader). The connection is
+	// unusable after it: the frame may be partially on the wire.
+	ErrWriteTimeout = errors.New("front: frame write timed out")
 )
 
 // helloMsg opens a connection: protocol version plus the tenant API key.
@@ -128,13 +169,30 @@ type goawayMsg struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// pingMsg/pongMsg carry the keepalive sequence number; a pong echoes
+// the ping's Seq so the sender can count outstanding (unanswered)
+// heartbeats without matching timers to frames.
+type pingMsg struct {
+	Seq uint64 `json:"seq"`
+}
+
 // frameWriter serializes frames onto one conn. Writes come from the read
-// loop (accept/reject, in order) and from per-session verdict waiters
-// (completion order), so every write takes the mutex — a frame is never
-// interleaved inside another.
+// loop (accept/reject/pong, in order) and from per-session verdict
+// waiters (completion order), so every write takes the mutex — a frame
+// is never interleaved inside another.
+//
+// When nc and timeout are set, every send arms a write deadline: a peer
+// that has stopped draining its socket fails the write with
+// ErrWriteTimeout after timeout instead of wedging the sender forever.
+// The deadline covers the whole frame under the mutex, so one stalled
+// peer delays other writers on the SAME conn at most timeout — and the
+// conn is declared dead at the first timeout, never retried (the frame
+// boundary is gone).
 type frameWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	nc      net.Conn      // optional: write-deadline support
+	timeout time.Duration // 0 = no write deadline
 }
 
 func (fw *frameWriter) send(typ byte, msg any) error {
@@ -148,32 +206,46 @@ func (fw *frameWriter) send(typ byte, msg any) error {
 	copy(buf[5:], body)
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
+	if fw.nc != nil && fw.timeout > 0 {
+		fw.nc.SetWriteDeadline(time.Now().Add(fw.timeout))
+	}
 	_, err = fw.w.Write(buf)
-	return err
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return fmt.Errorf("%w after %v (frame %d): %v", ErrWriteTimeout, fw.timeout, typ, err)
+		}
+		return err
+	}
+	return nil
 }
 
 // readFrame reads one length-prefixed frame. The caller owns read
-// deadlines on the underlying conn.
+// deadlines on the underlying conn. Malformed input maps to the typed
+// sentinels above; a clean EOF between frames passes through as io.EOF.
 func readFrame(r io.Reader) (typ byte, body []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream ended inside the header", ErrFrameTruncated)
+		}
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < 1 || n > maxFrameBody {
-		return 0, nil, fmt.Errorf("front: frame length %d out of range", n)
+		return 0, nil, fmt.Errorf("%w: length %d (cap %d)", ErrFrameOversized, n, maxFrameBody)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	if got, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: %d of %d body bytes: %v", ErrFrameTruncated, got, n, err)
 	}
 	return buf[0], buf[1:], nil
 }
 
-// decode unmarshals a frame body, wrapping errors with the frame type.
+// decode unmarshals a frame body, wrapping failures in ErrFrameCorrupt
+// with the frame type.
 func decode(typ byte, body []byte, into any) error {
 	if err := json.Unmarshal(body, into); err != nil {
-		return fmt.Errorf("front: decode frame %d: %w", typ, err)
+		return fmt.Errorf("%w: frame %d: %v", ErrFrameCorrupt, typ, err)
 	}
 	return nil
 }

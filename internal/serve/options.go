@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -96,6 +97,14 @@ func WithRuntime(opts ...core.Option) Option {
 // cardinality guard — see internal/obs.LabelGuard).
 func WithTenant(name string) Option {
 	return func(o *options) { o.tenant = name }
+}
+
+// WithChaos installs a fault injector on the pool (pool scope). Each
+// Submit may then be forced into an ErrPoolSaturated rejection at the
+// injector's PoolSaturate rate — the chaos harness's way of exercising
+// saturation-retry paths on demand. Nil is the (default) no-op.
+func WithChaos(in *chaos.Injector) Option {
+	return func(o *options) { o.cfg.Chaos = in }
 }
 
 // WithDeadlineAdmission toggles deadline-aware admission control. When

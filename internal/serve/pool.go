@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/hist"
 	"repro/internal/obs"
@@ -97,6 +98,11 @@ type Config struct {
 	// DefaultTenant is the fairness tenant of sessions submitted without
 	// WithTenant; empty selects "default".
 	DefaultTenant string
+	// Chaos, when non-nil, injects admission faults: each Submit may be
+	// forced into an ErrPoolSaturated rejection at the injector's
+	// PoolSaturate rate, exercising callers' saturation-retry paths
+	// without actually filling the pool. Nil in production.
+	Chaos *chaos.Injector
 }
 
 // pendState is a queued session's admission outcome, guarded by Pool.mu.
@@ -269,6 +275,11 @@ func (p *Pool) Submit(ctx context.Context, name string, main core.TaskFunc, opts
 		p.mu.Unlock()
 		p.reject(rejectClosed)
 		return nil, ErrPoolClosed
+	}
+	if p.cfg.Chaos.Fire(chaos.PoolSaturate) {
+		p.mu.Unlock()
+		p.reject(rejectSaturated)
+		return nil, fmt.Errorf("%w: injected: %w", ErrPoolSaturated, chaos.ErrInjected)
 	}
 	if p.running < p.cfg.MaxSessions && p.queued == 0 {
 		p.running++ // slot free, nobody waiting: run immediately
