@@ -11,6 +11,7 @@
 //	internal/collections Channel (Listing 4), Future, Finish, barriers
 //	internal/sched       task executors
 //	internal/serve       the multi-session serving layer (Pool/Session)
+//	internal/graph       session-graph orchestration (DAGs over a Pool)
 //	internal/trace       binary trace sinks + offline verification
 //	internal/obs         metrics: counters, windows, /metrics endpoint
 //	internal/harness     the Table 1 / Figure 1 measurement harness
@@ -42,6 +43,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/front"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -284,6 +286,101 @@ var (
 	// scopes; submit wins).
 	WithDeadlineAdmission = serve.WithDeadlineAdmission
 )
+
+// Session-graph surface (see internal/graph): DAGs of dependent
+// sessions over one Pool. Nodes are named session bodies; an edge hands
+// an upstream node's output to its consumers through a cross-session
+// Future fulfilled exactly when the producer's verdict is clean. The
+// orchestrator submits a node the moment all of its inputs are
+// fulfilled, applies per-node policy (retry with backoff, per-attempt
+// timeout, runtime mode), and on a terminal failure cascade-cancels
+// exactly the dependents — independent branches run to completion.
+// cmd/loadgen -graph is the invariant-checking driver built on it.
+type (
+	// Graph is a single-shot DAG of dependent sessions; NewGraph builds
+	// one, Graph.Node declares nodes (dependencies must already be
+	// declared, so a Graph is acyclic by construction), Graph.Run
+	// executes it on a Pool.
+	Graph = graph.Graph
+	// Node is one declared vertex: a named session body plus policy.
+	Node = graph.Node
+	// NodeFunc is a node's body: a session program that consumes its
+	// dependencies' outputs and returns this node's output.
+	NodeFunc = graph.NodeFunc
+	// NodeOption is per-node policy for Graph.Node.
+	NodeOption = graph.NodeOption
+	// NodeRetry bounds a node's attempts and paces them (exponential
+	// backoff from Backoff, capped).
+	NodeRetry = graph.Retry
+	// Inputs carries the fulfilled upstream outputs into a node body;
+	// GraphInput is the typed accessor.
+	Inputs = graph.Inputs
+	// Future is the cross-session handoff cell for one node's output:
+	// fulfilled on the producer's clean verdict, failed on its terminal
+	// error.
+	Future = graph.Future
+	// NodeState is a node's lifecycle state in a GraphResult.
+	NodeState = graph.NodeState
+	// NodeResult is one node's terminal accounting: state, verdict,
+	// attempts, body runs, error, output, timing.
+	NodeResult = graph.NodeResult
+	// GraphResult is Graph.Run's report: per-node results, aggregate
+	// counts, retries, and the critical path.
+	GraphResult = graph.GraphResult
+	// GraphStats are the package-wide cumulative graph counters
+	// (GraphStatsNow reads them).
+	GraphStats = graph.GraphStats
+	// ErrUpstream marks a cascade-canceled node: Node names the ROOT
+	// failure, Cause (unwrapped) is why it went down.
+	ErrUpstream = graph.ErrUpstream
+)
+
+// Node lifecycle states (NodeResult.State).
+const (
+	// NodePending marks a node still waiting on inputs.
+	NodePending = graph.NodePending
+	// NodeRunning marks a node submitted or executing.
+	NodeRunning = graph.NodeRunning
+	// NodeSucceeded marks a clean verdict; the node's Future is fulfilled.
+	NodeSucceeded = graph.NodeSucceeded
+	// NodeFailed marks a terminal failure after the retry budget.
+	NodeFailed = graph.NodeFailed
+	// NodeCanceled marks a node cascade-canceled by an upstream failure
+	// (its body never ran) or killed by graph-context cancellation.
+	NodeCanceled = graph.NodeCanceled
+)
+
+var (
+	// NewGraph creates an empty named session graph.
+	NewGraph = graph.New
+	// NodeAfter declares a node's dependencies (already-declared names).
+	NodeAfter = graph.After
+	// WithNodeRetry sets a node's retry policy (attempt cap + backoff).
+	WithNodeRetry = graph.WithRetry
+	// WithNodeTimeout bounds each attempt; a timed-out attempt is
+	// retryable (errors.Is ErrNodeTimeout), unlike a graph-level cancel.
+	WithNodeTimeout = graph.WithTimeout
+	// WithNodeMode overrides the verification mode for one node.
+	WithNodeMode = graph.WithMode
+	// WithNodeRuntime appends core options to one node's session runtime.
+	WithNodeRuntime = graph.WithRuntime
+	// WithNodeSubmit appends serve options to one node's Submit.
+	WithNodeSubmit = graph.WithSubmit
+	// GraphStatsNow snapshots the cumulative graph counters.
+	GraphStatsNow = graph.Stats
+
+	// ErrNodeTimeout is the cancellation cause of a timed-out node
+	// attempt (retryable; distinguishes attempt deadline from terminal
+	// graph cancellation).
+	ErrNodeTimeout = graph.ErrNodeTimeout
+)
+
+// GraphInput reads the output a named dependency handed to this node,
+// typed: an error (never a panic) on an undeclared dependency or a
+// payload-type mismatch, so a consumer can fail its own node cleanly.
+func GraphInput[T any](in Inputs, node string) (T, error) {
+	return graph.In[T](in, node)
+}
 
 // Network front-end surface (see internal/front): the framed-TCP
 // client/server protocol over the serving pool — remote session

@@ -295,6 +295,102 @@ func TestFacadePool(t *testing.T) {
 	_ = fmt.Sprintf("%s", clean.Verdict()) // verdicts render for reports
 }
 
+// TestFacadeSessionGraph is the executable form of the README's
+// session-graph quickstart: a diamond DAG over a pool, typed handoff
+// between sessions via GraphInput, per-node retry policy, and the
+// cascade contract (ErrUpstream names the root failure; independent
+// branches still complete).
+func TestFacadeSessionGraph(t *testing.T) {
+	pool := repro.NewServePool(repro.WithMaxSessions(4), repro.WithQueueDepth(16))
+	defer pool.Close()
+
+	g := repro.NewGraph("diamond")
+	g.MustNode("src", func(tk *repro.Task, _ repro.Inputs) (any, error) {
+		p := repro.NewPromise[int](tk)
+		if _, err := tk.Async(func(c *repro.Task) error { return p.Set(c, 21) }, p); err != nil {
+			return nil, err
+		}
+		return p.Get(tk)
+	})
+	double := func(tk *repro.Task, in repro.Inputs) (any, error) {
+		v, err := repro.GraphInput[int](in, "src")
+		if err != nil {
+			return nil, err
+		}
+		return v * 2, nil
+	}
+	g.MustNode("left", double, repro.NodeAfter("src"))
+	g.MustNode("right", double, repro.NodeAfter("src"),
+		repro.WithNodeRetry(repro.NodeRetry{MaxAttempts: 2, Backoff: time.Millisecond}))
+	g.MustNode("sink", func(tk *repro.Task, in repro.Inputs) (any, error) {
+		l, err := repro.GraphInput[int](in, "left")
+		if err != nil {
+			return nil, err
+		}
+		r, err := repro.GraphInput[int](in, "right")
+		if err != nil {
+			return nil, err
+		}
+		return l + r, nil
+	}, repro.NodeAfter("left", "right"))
+
+	res, err := g.Run(t.Context(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Succeeded != 4 {
+		t.Fatalf("diamond result: %+v", res)
+	}
+	out, ok := res.Output("sink")
+	if !ok || out.(int) != 84 {
+		t.Fatalf("sink output = %v (ok=%v), want 84", out, ok)
+	}
+	for _, n := range []string{"src", "left", "right", "sink"} {
+		nr := res.Nodes[n]
+		if nr.State != repro.NodeSucceeded || nr.Verdict != repro.VerdictClean {
+			t.Fatalf("node %s: state %s verdict %s", n, nr.State, nr.Verdict)
+		}
+	}
+	if len(res.CriticalPath) != 3 { // src -> left|right -> sink
+		t.Fatalf("critical path %v", res.CriticalPath)
+	}
+
+	// Cascade: a failing producer cancels exactly its dependents, with a
+	// typed ErrUpstream naming the root; the independent branch finishes.
+	boom := errors.New("boom")
+	g2 := repro.NewGraph("cascade")
+	g2.MustNode("bad", func(*repro.Task, repro.Inputs) (any, error) { return nil, boom })
+	g2.MustNode("downstream", func(tk *repro.Task, in repro.Inputs) (any, error) {
+		return repro.GraphInput[int](in, "bad")
+	}, repro.NodeAfter("bad"))
+	g2.MustNode("island", func(*repro.Task, repro.Inputs) (any, error) { return 7, nil })
+	res2, err := g2.Run(t.Context(), pool)
+	if !errors.Is(err, boom) {
+		t.Fatalf("cascade Run err = %v, want the root failure", err)
+	}
+	if res2.OK() {
+		t.Fatal("cascade graph reported OK")
+	}
+	if got := res2.Nodes["bad"].State; got != repro.NodeFailed {
+		t.Fatalf("bad state %s", got)
+	}
+	down := res2.Nodes["downstream"]
+	if down.State != repro.NodeCanceled || down.BodyRuns != 0 {
+		t.Fatalf("downstream state %s bodyRuns %d", down.State, down.BodyRuns)
+	}
+	var up *repro.ErrUpstream
+	if !errors.As(down.Err, &up) || up.Node != "bad" || !errors.Is(down.Err, boom) {
+		t.Fatalf("downstream err %v, want ErrUpstream{bad} wrapping boom", down.Err)
+	}
+	if nr := res2.Nodes["island"]; nr.State != repro.NodeSucceeded {
+		t.Fatalf("island state %s (independent branch must complete)", nr.State)
+	}
+
+	if st := repro.GraphStatsNow(); st.GraphsRun < 2 || st.NodesSucceeded < 5 || st.NodesCanceled < 1 {
+		t.Fatalf("graph stats %+v", st)
+	}
+}
+
 // TestFacadeSpawnFastPaths exercises the PR-6 surface through the facade:
 // inline spawn (per-call and runtime-wide), batched spawn, and arena
 // promises.

@@ -11,6 +11,8 @@
 //	        [-detector lockfree|globallock] [-inject frac] [-deadline spec]
 //	        [-open rate [-front addr] [-tenants spec] [-shape s] [-fairness tol]
 //	         [-chaos rate] [-chaos-seed N]]
+//	        [-graph shape [-graph-nodes N] [-graph-fail p] [-graph-flaky p]
+//	         [-graph-retries N] [-graph-drivers N] [-chaos rate]]
 //	        [-seed N] [-json file] [-metrics addr] [-metrics-out file] [-v]
 //
 // -drivers sets the closed-loop submitter count; the default,
@@ -48,6 +50,20 @@
 // verdict with a connection-lost cause is legitimate under chaos), no
 // unmatched (double-delivered) verdicts, and no leaked goroutines. The
 // report gains a "chaos" JSON section with the injector counts.
+//
+// -graph SHAPE switches to session-graph mode (internal/graph): drivers
+// repeatedly build and run DAGs of dependent sessions — "diamond",
+// "wide" (fan-out/fan-in), "chain" (deep pipeline), "random" (seeded
+// random DAGs with doomed and flaky nodes exercising per-node retry and
+// cascade cancellation), "ppsim"/"ppg" (the graph workload families) or
+// "mixed" — and audit every finished graph against its deterministic
+// ground truth: no orphaned nodes, no double-runs (exactly one terminal
+// outcome per node, retried nodes counting once), no false node states
+// or outputs, no cascade misses, no leaked goroutines. -chaos RATE in
+// graph mode injects forced admission-saturation rejections, which the
+// orchestrator must absorb without consuming retry attempts. See
+// graph.go for the exact invariants; any violation exits nonzero and
+// the report is merged into the benchtable JSON under "graph".
 //
 // -deadline mixes per-session deadlines into the traffic: a
 // comma-separated list of DUR[:weight] classes ("5ms:1,none:9" gives one
@@ -304,6 +320,12 @@ func main() {
 	detector := flag.String("detector", "lockfree", "detector in full mode: lockfree, globallock")
 	inject := flag.Float64("inject", 0, "probability in [0,1) of swapping a draw for the Deadlock scenario")
 	deadlineSpec := flag.String("deadline", "", `per-session deadline mix: "DUR[:weight],..." ("5ms:1,none:9"; "none"/"0" = no deadline)`)
+	graphShape := flag.String("graph", "", `graph mode: drive DAGs of dependent sessions ("diamond", "wide", "chain", "random", "ppsim", "ppg" or "mixed"; empty = off)`)
+	graphNodes := flag.Int("graph-nodes", 64, "graph mode: node count of the wide/chain/random shapes")
+	graphFail := flag.Float64("graph-fail", 0.1, "graph mode: random-DAG doom probability (a doomed node fails every attempt and cascades)")
+	graphFlaky := flag.Float64("graph-flaky", 0.15, "graph mode: random-DAG flaky probability (fails all but its last permitted attempt)")
+	graphRetries := flag.Int("graph-retries", 3, "graph mode: per-node retry budget (total attempts) on random DAGs")
+	graphDrivers := flag.Int("graph-drivers", 2, "graph mode: concurrent graph drivers")
 	open := flag.Float64("open", 0, "open-loop mode: aggregate arrival rate per second through a TCP front (0 = closed-loop)")
 	frontAddr := flag.String("front", "", "open-loop: external frontd address (empty = self-host on 127.0.0.1:0)")
 	tenantsSpec := flag.String("tenants", "default:1", `open-loop: tenant set with weighted-fair shares ("gold:3,bronze:1"); key "<tenant>-key" authenticates each`)
@@ -359,8 +381,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: unknown detector %q\n", *detector)
 		os.Exit(2)
 	}
-	if *chaosRate > 0 && *open <= 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: -chaos requires -open (faults are injected at the network edge)")
+	if *chaosRate > 0 && *open <= 0 && *graphShape == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos requires -open (network-edge faults) or -graph (admission faults)")
+		os.Exit(2)
+	}
+	if *graphShape != "" && *open > 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -graph and -open are mutually exclusive modes")
 		os.Exit(2)
 	}
 	if *modeFlag != "full" && (*inject > 0 || *mix != "all") {
@@ -410,6 +436,33 @@ func main() {
 		}
 		metricsSrv = srv
 		fmt.Fprintf(os.Stderr, "loadgen: metrics on http://%s/metrics (also /metrics.json, /debug/pprof)\n", srv.Addr())
+	}
+
+	if *graphShape != "" {
+		code := runGraphMode(graphConfig{
+			shape: *graphShape, nodes: *graphNodes,
+			failProb: *graphFail, flakyProb: *graphFlaky, retries: *graphRetries,
+			drivers: *graphDrivers, sessions: *sessions, queue: *queue, dur: *dur,
+			scale: scale, scaleStr: *scaleFlag, mode: *modeFlag,
+			chaosRate: *chaosRate, chaosSeed: *chaosSeed,
+			seed: *seed, jsonOut: *jsonOut, verbose: *verbose,
+			runtime: opts,
+		})
+		if *metricsOut != "" {
+			buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err == nil {
+				err = os.WriteFile(*metricsOut, append(buf, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: metrics snapshot written to %s\n", *metricsOut)
+		}
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+		os.Exit(code)
 	}
 
 	if *open > 0 {

@@ -1,0 +1,51 @@
+// Package graph is the session-graph orchestration layer: DAGs of
+// dependent sessions scheduled over a serve.Pool, linked by
+// cross-session futures, governed by per-node retry/timeout policy, and
+// torn down by cascade cancellation when an upstream node fails.
+//
+// A single session verifies one promise program; the pool verifies
+// thousands of independent ones. Real workloads sit between: pipelines
+// whose stages are themselves promise programs — a simulation's epoch
+// feeding the next epoch, an optimizer's gradient shards feeding a
+// barrier reduce. The graph layer models exactly that shape WITHOUT ever
+// sharing a runtime between stages. Each node is its own isolated
+// session (its own task registry, ownership policy, detector); the only
+// thing that crosses a session boundary is the node's OUTPUT, a plain Go
+// value travelling through a Future — a write-once handoff cell the
+// scheduler fulfils when the producer session reaches a clean verdict.
+// Downstream bodies receive every input as an already-resolved value
+// (Inputs); they cannot block on, alias, or deadlock against an
+// upstream runtime, so the per-session detector precision argument is
+// untouched by composition.
+//
+// Scheduling is purely data-driven: a node is submitted to the pool the
+// moment its last input future fulfils, and never before — a node whose
+// upstream failed therefore never occupies a pool slot, never builds a
+// runtime, and never runs its body. That property is what makes cascade
+// cancellation cheap and exact: when a node reaches terminal failure
+// (its retry budget exhausted on failed/deadlocked/policy verdicts, its
+// graph context canceled, or the pool closed under it), every transitive
+// descendant is still Pending, and the scheduler marks them all Canceled
+// with a typed ErrUpstream{Node, Cause} in one pass under the graph
+// lock, while independent branches keep running to completion.
+//
+// Per-node policy keeps verdicts exactly-once at the NODE level even
+// under retries: an attempt is one session, a node is one terminal
+// outcome. Retries re-submit a fresh session for the same node (the
+// previous attempt's runtime is gone; promise state cannot leak between
+// attempts), admission-saturation rejections are retried with backoff
+// WITHOUT consuming an attempt (the body never ran), and the node's
+// future fulfils at most once, on the first clean verdict.
+//
+// Graph.Run returns a GraphResult carrying a terminal NodeResult for
+// every node — verdicts, attempt counts, outputs, and the measured
+// critical path — and the package feeds the obs registry
+// (graph_nodes_total{state}, graph_retries_total, windowed node
+// latency) when one is installed, at the usual zero-cost-off discipline.
+//
+// Random DAGs (Random) generate seeded topologies with injected doomed
+// and flaky nodes plus the metadata (deps, dooms, body-run counters)
+// a harness needs to assert the orchestration invariants: no orphaned
+// node, no double-run, cascade reaching every transitive descendant.
+// cmd/loadgen's -graph mode is the driver built on it.
+package graph

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Future is the cross-session handoff cell linking a producer node to
+// its consumers. It is fulfilled by the graph scheduler exactly once,
+// when the producer's session reaches a clean verdict (Value), or failed
+// exactly once when the producer terminally fails or is canceled (Err).
+// The payload is a plain Go value captured AFTER the producer runtime
+// has fully unwound — readers never touch the producer's runtime, so a
+// future can be read from any goroutine, including downstream session
+// bodies, without sharing runtimes or weakening either side's detector.
+type Future struct {
+	node string
+	done chan struct{}
+
+	mu     sync.Mutex
+	filled bool
+	val    any
+	err    error
+}
+
+func newFuture(node string) *Future {
+	return &Future{node: node, done: make(chan struct{})}
+}
+
+// Node returns the producing node's name.
+func (f *Future) Node() string { return f.node }
+
+// Done returns a channel closed when the future is fulfilled or failed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// TryValue returns the fulfilled value without blocking. ok is false
+// while the producer is still pending/running and after a failure.
+func (f *Future) TryValue() (v any, ok bool) {
+	select {
+	case <-f.done:
+	default:
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, false
+	}
+	return f.val, true
+}
+
+// Value blocks until the future resolves and returns the producer's
+// output, or the error that terminally failed or canceled the producer
+// (an *ErrUpstream for cascade-canceled producers).
+func (f *Future) Value() (any, error) {
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.err
+}
+
+// fulfill resolves the future with the producer's output. The scheduler
+// guarantees exactly one resolution per node; a second is a bug.
+func (f *Future) fulfill(v any) {
+	f.mu.Lock()
+	if f.filled {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("graph: future %q resolved twice", f.node))
+	}
+	f.filled = true
+	f.val = v
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// fail resolves the future with the producer's terminal error.
+func (f *Future) fail(err error) {
+	f.mu.Lock()
+	if f.filled {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("graph: future %q resolved twice", f.node))
+	}
+	f.filled = true
+	f.err = err
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// Inputs is the resolved view of a node's upstream outputs, passed to
+// its body. Every declared dependency is present and already fulfilled —
+// the scheduler does not submit a node before its last input resolves —
+// so reads never block and never cross into another session's runtime.
+type Inputs struct {
+	vals map[string]any
+}
+
+// Value returns the named upstream node's output. ok is false only when
+// the node never declared that dependency.
+func (in Inputs) Value(node string) (v any, ok bool) {
+	v, ok = in.vals[node]
+	return v, ok
+}
+
+// Len returns how many inputs the node declared.
+func (in Inputs) Len() int { return len(in.vals) }
+
+// In is the typed accessor over Inputs: the named upstream output
+// asserted to T. It returns an error (never panics) when the dependency
+// was not declared or the producer emitted a different type, so a
+// mis-wired graph fails the consuming NODE with a diagnosable message
+// instead of poisoning the session with a panic verdict.
+func In[T any](in Inputs, node string) (T, error) {
+	var zero T
+	v, ok := in.vals[node]
+	if !ok {
+		return zero, fmt.Errorf("graph: input %q not declared by this node", node)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("graph: input %q is %T, not %T", node, v, zero)
+	}
+	return t, nil
+}

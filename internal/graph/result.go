@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"time"
+
+	"repro/internal/serve"
+)
+
+// NodeState is a node's lifecycle position. Every node of a finished
+// graph is in exactly one of the three terminal states — a node left
+// Pending or Running after Run returns would be an orphan, the
+// invariant cmd/loadgen's -graph harness asserts never happens.
+type NodeState uint8
+
+const (
+	// NodePending: declared, at least one input still unresolved; no
+	// session submitted, no pool slot held.
+	NodePending NodeState = iota
+	// NodeRunning: at least one attempt submitted (queued or executing).
+	NodeRunning
+	// NodeSucceeded: terminal — an attempt reached a clean verdict and
+	// the node's future is fulfilled with its output.
+	NodeSucceeded
+	// NodeFailed: terminal — the retry budget was exhausted on failing
+	// verdicts (deadlock, policy, failure, attempt timeout).
+	NodeFailed
+	// NodeCanceled: terminal — the node never got to a verdict of its
+	// own: an upstream failure cascaded into it (err is *ErrUpstream),
+	// the graph context ended, or the pool closed under it.
+	NodeCanceled
+
+	nodeStateCount = iota
+)
+
+// String returns the state name used in reports and metric labels.
+func (s NodeState) String() string {
+	switch s {
+	case NodePending:
+		return "pending"
+	case NodeRunning:
+		return "running"
+	case NodeSucceeded:
+		return "succeeded"
+	case NodeFailed:
+		return "failed"
+	case NodeCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is one of the three run outcomes.
+func (s NodeState) Terminal() bool {
+	return s == NodeSucceeded || s == NodeFailed || s == NodeCanceled
+}
+
+// NodeResult is one node's terminal record in a GraphResult.
+type NodeResult struct {
+	Name  string    `json:"name"`
+	State NodeState `json:"-"`
+	// StateName is State rendered for JSON reports.
+	StateName string `json:"state"`
+	// Verdict is the last completed attempt's session verdict. For a
+	// node canceled before any session completed it is VerdictCanceled.
+	Verdict serve.Verdict `json:"-"`
+	// Attempts counts sessions submitted for the node (admission-
+	// saturation retries excluded: those never consumed an attempt).
+	Attempts int `json:"attempts"`
+	// BodyRuns counts body executions — the exactly-once evidence. A
+	// session canceled while still queued increments Attempts but not
+	// BodyRuns.
+	BodyRuns int64 `json:"body_runs"`
+	// Err is the terminal error: nil for success, the last attempt's
+	// error for failure, an *ErrUpstream (or the graph-level cause) for
+	// cancellation.
+	Err error `json:"-"`
+	// Output is the body's returned value for a succeeded node.
+	Output any       `json:"-"`
+	Start  time.Time `json:"-"`
+	End    time.Time `json:"-"`
+	// Duration spans first submission to terminal outcome, retries and
+	// backoff included; zero for nodes canceled before submission.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// GraphResult is the outcome of one Graph.Run: a terminal NodeResult
+// per node plus the aggregate and critical-path accounting.
+type GraphResult struct {
+	Graph   string        `json:"graph"`
+	Start   time.Time     `json:"-"`
+	End     time.Time     `json:"-"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Nodes map[string]NodeResult `json:"-"`
+
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+
+	// Retries counts attempts beyond each node's first; AdmissionRetries
+	// counts saturated submissions re-tried without consuming attempts.
+	Retries          int64 `json:"retries"`
+	AdmissionRetries int64 `json:"admission_retries"`
+
+	// CriticalPath is the dependency chain with the largest summed node
+	// duration among nodes that ran, root first; CriticalPathTime is
+	// that sum. With perfect parallelism and a free pool the graph
+	// cannot finish faster than this — the gap between it and Elapsed
+	// is queueing plus scheduling overhead.
+	CriticalPath     []string      `json:"critical_path"`
+	CriticalPathTime time.Duration `json:"critical_path_ns"`
+
+	// Err is nil iff every node succeeded; otherwise the root failure:
+	// the first node error that triggered a cascade (never one of the
+	// cascade's own ErrUpstream entries).
+	Err error `json:"-"`
+}
+
+// OK reports whether every node succeeded.
+func (r *GraphResult) OK() bool { return r.Err == nil && r.Failed == 0 && r.Canceled == 0 }
+
+// Output returns a succeeded node's output value.
+func (r *GraphResult) Output(node string) (any, bool) {
+	nr, ok := r.Nodes[node]
+	if !ok || nr.State != NodeSucceeded {
+		return nil, false
+	}
+	return nr.Output, true
+}
+
+// criticalPath computes the longest-duration dependency chain over the
+// nodes that actually ran, walking the declaration order (topological
+// by construction). Canceled nodes contribute zero duration but still
+// propagate their ancestors' path, so a graph whose sink was cascade-
+// canceled still reports the failed spine that doomed it.
+func criticalPath(g *Graph, res map[string]NodeResult) ([]string, time.Duration) {
+	if len(g.order) == 0 {
+		return nil, 0
+	}
+	finish := make(map[string]time.Duration, len(g.order))
+	prev := make(map[string]string, len(g.order))
+	var bestNode string
+	var best time.Duration = -1
+	for _, n := range g.order {
+		var upBest time.Duration
+		up := ""
+		for _, dep := range n.deps {
+			if f := finish[dep]; up == "" || f > upBest {
+				upBest, up = f, dep
+			}
+		}
+		f := upBest + res[n.name].Duration
+		finish[n.name] = f
+		prev[n.name] = up
+		if f > best {
+			best, bestNode = f, n.name
+		}
+	}
+	var path []string
+	for at := bestNode; at != ""; at = prev[at] {
+		path = append(path, at)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best
+}

@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Admission-saturation backoff: start small and double to a cap. These
+// retries are submit-side only (the body never ran), so they are safe
+// at any rate; the backoff exists to stop a big graph from busy-spinning
+// against a full pool.
+const (
+	admissionBackoffBase = time.Millisecond
+	admissionBackoffCap  = 64 * time.Millisecond
+)
+
+// run is one Graph.Run execution: the scheduler state shared by the
+// per-node supervisor goroutines. Every node state transition happens
+// under mu, which is what makes the exactly-one-terminal-outcome
+// invariant structural: a node is launched only while Pending, canceled
+// only while Pending, and finished only by its single supervisor.
+type run struct {
+	g    *Graph
+	pool *serve.Pool
+	ctx  context.Context
+
+	mu sync.Mutex
+	wg sync.WaitGroup
+
+	// rootErr is the first terminal failure cause (never an ErrUpstream
+	// from a cascade): the error Run returns.
+	rootErr error
+
+	admissionRetries atomic.Int64
+}
+
+// Run executes the graph over the pool and blocks until every node has
+// reached a terminal state, returning the per-node results. ctx covers
+// the whole graph: cancelling it cancels running sessions through their
+// submit contexts and cascades cancellation into everything not yet
+// submitted. Run may be called once per Graph; a second call errors.
+//
+// The returned error is the root failure (nil when every node
+// succeeded); the *GraphResult is returned in both cases.
+func (g *Graph) Run(ctx context.Context, pool *serve.Pool) (*GraphResult, error) {
+	if !g.ran.CompareAndSwap(false, true) {
+		return nil, errGraphReran
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &run{g: g, pool: pool, ctx: ctx}
+	start := time.Now()
+
+	r.mu.Lock()
+	for _, n := range g.order {
+		if n.waiting == 0 {
+			r.launchLocked(n)
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+
+	res := &GraphResult{
+		Graph: g.name,
+		Start: start,
+		End:   time.Now(),
+		Nodes: make(map[string]NodeResult, len(g.order)),
+		Err:   r.rootErr,
+	}
+	res.Elapsed = res.End.Sub(res.Start)
+	var retries int64
+	for _, n := range g.order {
+		nr := NodeResult{
+			Name:      n.name,
+			State:     n.state,
+			StateName: n.state.String(),
+			Verdict:   n.verdict,
+			Attempts:  n.attempts,
+			BodyRuns:  n.bodyRuns.Load(),
+			Err:       n.err,
+			Output:    n.out,
+			Start:     n.start,
+			End:       n.end,
+		}
+		if !n.end.IsZero() && !n.start.IsZero() {
+			nr.Duration = n.end.Sub(n.start)
+		}
+		if n.attempts > 1 {
+			retries += int64(n.attempts - 1)
+		}
+		switch n.state {
+		case NodeSucceeded:
+			res.Succeeded++
+		case NodeFailed:
+			res.Failed++
+		case NodeCanceled:
+			res.Canceled++
+		default:
+			// Scheduler bug: a node was orphaned. Leave the state visible
+			// for the harness's orphan invariant, but resolve the future so
+			// no external watcher hangs on it.
+			n.future.fail(errors.New("graph: internal: node orphaned by scheduler"))
+		}
+		res.Nodes[n.name] = nr
+	}
+	res.Retries = retries
+	res.AdmissionRetries = r.admissionRetries.Load()
+	res.CriticalPath, res.CriticalPathTime = criticalPath(g, res.Nodes)
+	countGraph(res)
+	return res, res.Err
+}
+
+// launchLocked transitions a Pending node to Running and starts its
+// supervisor. Caller holds r.mu.
+func (r *run) launchLocked(n *Node) {
+	n.state = NodeRunning
+	n.start = time.Now()
+	r.wg.Add(1)
+	go r.exec(n)
+}
+
+// gather resolves the node's declared inputs. Called only after every
+// dependency future has fulfilled (the launch precondition), so
+// TryValue never misses.
+func (r *run) gather(n *Node) Inputs {
+	vals := make(map[string]any, len(n.deps))
+	for _, dep := range n.deps {
+		v, ok := r.g.nodes[dep].future.TryValue()
+		if !ok {
+			// Launch precondition violated — scheduler bug, surface loudly.
+			panic("graph: node launched before input " + dep + " fulfilled")
+		}
+		vals[dep] = v
+	}
+	return Inputs{vals: vals}
+}
+
+// exec is a node's supervisor: it drives the attempt loop — submit a
+// session, wait for its verdict, retry per policy — and performs
+// exactly one terminal transition. One goroutine per launched node;
+// cascade-canceled nodes never get one.
+func (r *run) exec(n *Node) {
+	defer r.wg.Done()
+	inputs := r.gather(n)
+	retryMax := n.retry.maxAttempts()
+
+	submitOpts := make([]serve.Option, 0, len(n.submit)+1)
+	submitOpts = append(submitOpts, n.submit...)
+	if len(n.runtime) > 0 {
+		submitOpts = append(submitOpts, serve.WithRuntime(n.runtime...))
+	}
+
+	for attempt := 1; ; attempt++ {
+		r.mu.Lock()
+		n.attempts = attempt
+		r.mu.Unlock()
+		if attempt > 1 {
+			countRetry()
+		}
+
+		actx := r.ctx
+		cancel := context.CancelFunc(func() {})
+		if n.timeout > 0 {
+			actx, cancel = context.WithTimeoutCause(r.ctx, n.timeout, ErrNodeTimeout)
+		}
+
+		var out any
+		body := func(t *core.Task) error {
+			n.bodyRuns.Add(1)
+			v, err := n.fn(t, inputs)
+			if err != nil {
+				return err
+			}
+			out = v
+			return nil
+		}
+
+		var attemptVerdict serve.Verdict
+		var attemptErr error
+		sess, serr := r.submit(actx, n, body, submitOpts)
+		if serr == nil {
+			sess.Wait()
+			cancel()
+			attemptVerdict = sess.Verdict()
+			attemptErr = sess.Err()
+			switch attemptVerdict {
+			case serve.VerdictClean:
+				r.succeed(n, out)
+				return
+			case serve.VerdictCanceled:
+				// Three distinct cancellations reach a session: the graph
+				// context (terminal for the node), the pool closing under it
+				// (terminal, typed serve.ErrPoolClosed), and the node's own
+				// per-attempt timeout — which is a FAILED attempt, retried
+				// below while budget remains.
+				if !errors.Is(attemptErr, ErrNodeTimeout) {
+					r.cancel(n, attemptErr)
+					return
+				}
+			}
+			// Deadlock / policy / failed / attempt-timeout: fall through to
+			// the retry decision.
+		} else {
+			cancel()
+			switch {
+			case errors.Is(serr, serve.ErrPoolClosed):
+				// Satellite invariant: a retry submitted during pool drain
+				// gets the prompt typed rejection and the node terminates —
+				// it must never hang a graph.
+				r.cancel(n, serr)
+				return
+			case r.ctx.Err() != nil:
+				r.cancel(n, context.Cause(r.ctx))
+				return
+			case errors.Is(serr, ErrNodeTimeout):
+				// The attempt's deadline expired before admission.
+				attemptVerdict = serve.VerdictCanceled
+				attemptErr = serr
+			default:
+				// Synchronous rejection (e.g. deadline-infeasible admission):
+				// consumes an attempt like any other failure.
+				attemptVerdict = serve.VerdictFailed
+				attemptErr = serr
+			}
+		}
+
+		if attempt >= retryMax {
+			r.fail(n, attemptVerdict, attemptErr)
+			return
+		}
+		if !r.sleep(n.retry.backoffFor(attempt)) {
+			r.cancel(n, context.Cause(r.ctx))
+			return
+		}
+	}
+}
+
+// submit sends one attempt to the pool, absorbing admission saturation
+// with capped-exponential backoff. Saturation never consumes an attempt
+// — the body never ran — but each absorbed rejection is counted
+// (AdmissionRetries, graph_admission_retries_total). Any other error is
+// returned to the attempt loop for classification.
+func (r *run) submit(actx context.Context, n *Node, body core.TaskFunc, opts []serve.Option) (*serve.Session, error) {
+	backoff := admissionBackoffBase
+	for {
+		sess, err := r.pool.Submit(actx, r.g.name+"/"+n.name, body, opts...)
+		if err == nil || !errors.Is(err, serve.ErrPoolSaturated) {
+			return sess, err
+		}
+		r.admissionRetries.Add(1)
+		countAdmissionRetry()
+		t := time.NewTimer(backoff)
+		select {
+		case <-actx.Done():
+			t.Stop()
+			return nil, context.Cause(actx)
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > admissionBackoffCap {
+			backoff = admissionBackoffCap
+		}
+	}
+}
+
+// sleep waits d against the graph context; false means the graph was
+// canceled mid-backoff.
+func (r *run) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return r.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// succeed is the clean terminal transition: record the output, fulfil
+// the future, and hand newly-ready dependents to the pool.
+func (r *run) succeed(n *Node, out any) {
+	r.mu.Lock()
+	n.state = NodeSucceeded
+	n.verdict = serve.VerdictClean
+	n.err = nil
+	n.out = out
+	n.end = time.Now()
+	countNode(NodeSucceeded, n.end.Sub(n.start))
+	n.future.fulfill(out)
+	for _, d := range n.down {
+		if d.waiting--; d.waiting == 0 && d.state == NodePending {
+			r.launchLocked(d)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// fail is the retry-budget-exhausted terminal transition; it cascades
+// cancellation into every transitive descendant.
+func (r *run) fail(n *Node, v serve.Verdict, err error) {
+	r.mu.Lock()
+	n.state = NodeFailed
+	n.verdict = v
+	n.err = err
+	n.end = time.Now()
+	if r.rootErr == nil {
+		r.rootErr = err
+	}
+	countNode(NodeFailed, n.end.Sub(n.start))
+	n.future.fail(err)
+	r.cascadeLocked(n, err)
+	r.mu.Unlock()
+}
+
+// cancel is the terminal transition for a node that never got a verdict
+// of its own — graph context ended, or the pool closed under it. It
+// cascades exactly like a failure.
+func (r *run) cancel(n *Node, cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	r.mu.Lock()
+	n.state = NodeCanceled
+	n.verdict = serve.VerdictCanceled
+	n.err = cause
+	n.end = time.Now()
+	if r.rootErr == nil {
+		r.rootErr = cause
+	}
+	countNode(NodeCanceled, 0)
+	n.future.fail(cause)
+	r.cascadeLocked(n, cause)
+	r.mu.Unlock()
+}
+
+// cascadeLocked cancels every transitive descendant of root that is
+// still Pending, tagging each with ErrUpstream{Node: root, Cause}. The
+// walk recurses only through nodes it cancels itself: a descendant
+// already canceled by an earlier cascade has already had its own
+// subtree handled, and a Running or Succeeded true descendant is
+// impossible (its inputs could never all have fulfilled). Every node
+// canceled here was never submitted — cascade cancellation costs no
+// pool slots and no sessions, by construction. Caller holds r.mu.
+func (r *run) cascadeLocked(root *Node, cause error) {
+	up := &ErrUpstream{Node: root.name, Cause: cause}
+	stack := append([]*Node(nil), root.down...)
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.state != NodePending {
+			continue
+		}
+		d.state = NodeCanceled
+		d.verdict = serve.VerdictCanceled
+		d.err = up
+		d.end = time.Time{}
+		countNode(NodeCanceled, 0)
+		d.future.fail(up)
+		stack = append(stack, d.down...)
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Regression for the graph-retry window: a submission that lands while
+// Pool.Close is already draining (closed flag set, running sessions
+// still finishing) must get the prompt typed ErrPoolClosed — not queue
+// behind the drain, and not hang until the last session exits. The
+// graph layer leans on this: a node retry that fires mid-drain must
+// terminate its node immediately instead of wedging Graph.Run.
+func TestSubmitDuringDrainPromptErrPoolClosed(t *testing.T) {
+	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 4})
+	gate := make(chan struct{})
+	hold, err := pool.Submit(t.Context(), "hold", func(_ *core.Task) error { <-gate; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, pool, 1)
+
+	closed := make(chan struct{})
+	go func() { pool.Close(); close(closed) }()
+
+	// Close blocks on the running session; once its closed flag is up,
+	// every new Submit must be rejected synchronously and promptly. Poll
+	// for the flag (the goroutine above needs a moment to take the lock),
+	// then assert promptness on a clean sample.
+	deadline := time.Now().Add(5 * time.Second)
+	var rejected bool
+	for time.Now().Before(deadline) {
+		begin := time.Now()
+		s, serr := pool.Submit(t.Context(), "late", cleanProg)
+		took := time.Since(begin)
+		if serr == nil {
+			// Raced ahead of the Close goroutine taking the lock: the
+			// session was legitimately queued and Close will abort it.
+			defer s.Wait()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if errors.Is(serr, ErrPoolClosed) {
+			if took > time.Second {
+				t.Fatalf("ErrPoolClosed took %v, want synchronous rejection", took)
+			}
+			rejected = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !rejected {
+		t.Fatal("Submit never returned ErrPoolClosed while draining")
+	}
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a session was still running")
+	default:
+	}
+
+	close(gate)
+	if err := hold.Wait(); err != nil {
+		t.Fatalf("draining session failed: %v", err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the last session finished")
+	}
+}
+
+// Regression for the cascade-cancel admission race: a session whose ctx
+// is canceled while it is queued (admitted, no slot yet) must abort
+// without ever running its body or consuming a slot — the freed
+// capacity must be immediately usable. This is the serve-level half of
+// the graph harness's "canceled nodes have zero body runs" invariant.
+func TestQueuedCancelReleasesCapacityAndNeverRuns(t *testing.T) {
+	pool := NewPool(Config{MaxSessions: 1, QueueDepth: 4})
+	defer pool.Close()
+	gate := make(chan struct{})
+	hold, err := pool.Submit(t.Context(), "hold", func(_ *core.Task) error { <-gate; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, pool, 1)
+
+	ctx, cancel := context.WithCancel(t.Context())
+	ran := make(chan struct{})
+	queued, err := pool.Submit(ctx, "queued", func(_ *core.Task) error { close(ran); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-queued.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued session did not abort on cancel")
+	}
+	select {
+	case <-ran:
+		t.Fatal("canceled queued session ran its body")
+	default:
+	}
+	if got := queued.Verdict(); got != VerdictCanceled {
+		t.Fatalf("verdict %s, want canceled (err: %v)", got, queued.Err())
+	}
+
+	// The aborted entry must not have cost the slot: the holder is still
+	// running, and once it finishes the slot serves new work while peak
+	// never exceeded the single configured slot.
+	close(gate)
+	if err := hold.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := pool.Submit(t.Context(), "after", cleanProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Wait(); err != nil {
+		t.Fatalf("post-abort session failed: %v", err)
+	}
+	if ps := pool.Stats(); ps.Peak != 1 {
+		t.Fatalf("peak in-flight %d, want 1 (queued abort must not occupy a slot)", ps.Peak)
+	}
+	select {
+	case <-ran:
+		t.Fatal("canceled queued session ran its body late")
+	default:
+	}
+}

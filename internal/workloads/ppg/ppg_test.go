@@ -1,0 +1,65 @@
+package ppg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/testutil"
+)
+
+func TestSequentialIsFiniteAndMoves(t *testing.T) {
+	cfg := Small()
+	z := RunSequential(cfg)
+	moved := false
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("iterate diverged: %v", z)
+		}
+		if v != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("iterate never left the origin")
+	}
+}
+
+func TestSingleSessionMatchesSequential(t *testing.T) {
+	cfg := Small()
+	rt := core.NewRuntime(core.WithMode(core.Full))
+	var got []float64
+	testutil.MustSucceed(t, rt, func(tk *core.Task) error {
+		var err error
+		got, err = Run(tk, cfg)
+		return err
+	})
+	want := RunSequential(cfg)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("iterate[%d] = %v, want %v (not bitwise identical)", j, got[j], want[j])
+		}
+	}
+}
+
+func TestGraphMatchesSequential(t *testing.T) {
+	cfg := Small()
+	pool := serve.NewPool(serve.Config{
+		MaxSessions: 6,
+		QueueDepth:  32,
+		Runtime:     []core.Option{core.WithMode(core.Full)},
+	})
+	defer pool.Close()
+	g, check := BuildGraph(cfg)
+	if want := cfg.Iters * (cfg.Blocks + 1); g.Len() != want {
+		t.Fatalf("graph has %d nodes, want %d (Blocks+1 per round)", g.Len(), want)
+	}
+	res, err := g.Run(t.Context(), pool)
+	if err != nil {
+		t.Fatalf("graph run: %v", err)
+	}
+	if err := check(res); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 // Package workloads registers the nine benchmarks of the paper's
 // evaluation (§6.3) — plus MicroFan, the repository's own fan-out-heavy
-// spawn-floor probe — so the harness, the benchtable/figure1 commands,
-// and the testing.B benches all draw from one list.
+// spawn-floor probe, and the PPSim/PPG graph workload families (which
+// also come in session-graph form via their BuildGraph constructors) —
+// so the harness, the benchtable/figure1 commands, and the testing.B
+// benches all draw from one list.
 package workloads
 
 import (
@@ -9,6 +11,8 @@ import (
 	"repro/internal/workloads/conway"
 	"repro/internal/workloads/heat"
 	"repro/internal/workloads/microfan"
+	"repro/internal/workloads/ppg"
+	"repro/internal/workloads/ppsim"
 	"repro/internal/workloads/qsort"
 	"repro/internal/workloads/randomized"
 	"repro/internal/workloads/sieve"
@@ -62,7 +66,8 @@ func pick[T any](s Scale, small, def, paper T) T {
 }
 
 // All returns the nine benchmarks in the paper's Table 1 order, followed
-// by the repository's MicroFan spawn-floor probe.
+// by the repository's MicroFan spawn-floor probe and the PPSim/PPG graph
+// workload families in their single-session form.
 func All() []Entry {
 	return []Entry{
 		{"Conway", func(s Scale) func() core.TaskFunc {
@@ -105,6 +110,14 @@ func All() []Entry {
 		{"MicroFan", func(s Scale) func() core.TaskFunc {
 			cfg := pick(s, microfan.Small(), microfan.Default(), microfan.Paper())
 			return func() core.TaskFunc { return microfan.Main(cfg) }
+		}},
+		{"PPSim", func(s Scale) func() core.TaskFunc {
+			cfg := pick(s, ppsim.Small(), ppsim.Default(), ppsim.Paper())
+			return func() core.TaskFunc { return ppsim.Main(cfg) }
+		}},
+		{"PPG", func(s Scale) func() core.TaskFunc {
+			cfg := pick(s, ppg.Small(), ppg.Default(), ppg.Paper())
+			return func() core.TaskFunc { return ppg.Main(cfg) }
 		}},
 	}
 }

@@ -9,7 +9,8 @@ import (
 
 func TestRegistryHasTable1Order(t *testing.T) {
 	want := []string{"Conway", "Heat", "QSort", "Randomized", "Sieve",
-		"SmithWaterman", "Strassen", "StreamCluster", "StreamCluster2", "MicroFan"}
+		"SmithWaterman", "Strassen", "StreamCluster", "StreamCluster2", "MicroFan",
+		"PPSim", "PPG"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d entries, want %d", len(all), len(want))
